@@ -1,0 +1,54 @@
+// Regenerates the §3.3 empirical characterization: RCost(localsize, α, i)
+// measured on the simulated cluster for both grid dimensions plus the
+// redistribution curve, at the two machine sizes the paper evaluates.
+// The table is also round-tripped through the characterization-file
+// format, demonstrating the "generate once, reuse by interpolation"
+// workflow the paper describes.
+
+#include <sstream>
+
+#include "tce/common/table.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+void show(std::uint32_t procs) {
+  using namespace tce;
+  using namespace tce::bench;
+
+  heading("RCost characterization — " + std::to_string(procs) +
+          " processors");
+  CharacterizationTable t = characterize_itanium(procs);
+
+  TextTable table({"block bytes", "rotate dim1 (s)", "rotate dim2 (s)",
+                   "redistribute (s)"});
+  for (std::size_t c = 0; c < 4; ++c) table.set_right_aligned(c);
+  const auto& bytes = t.rotate_dim1.sample_bytes();
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    table.add_row({std::to_string(bytes[i]),
+                   fixed(t.rotate_dim1.sample_seconds()[i], 4),
+                   fixed(t.rotate_dim2.sample_seconds()[i], 4),
+                   fixed(t.redistribute.sample_seconds()[i], 4)});
+  }
+  std::printf("%s", table.str().c_str());
+
+  // Round-trip through the file format and spot-check interpolation.
+  CharacterizationTable loaded =
+      CharacterizationTable::load_string(t.save_string());
+  CharacterizedModel model(std::move(loaded));
+  std::printf(
+      "\ninterpolation spot checks (between samples):\n"
+      "  55.3MB rotation:  %s s (Table 2's per-f T1 rotation step cost)\n"
+      "  118MB  rotation:  %s s (Table 2's unfused A/T2 rotation)\n\n",
+      fixed(model.rotate_cost(55'296'000, 1), 2).c_str(),
+      fixed(model.rotate_cost(117'964'800, 1), 2).c_str());
+}
+
+}  // namespace
+
+int main() {
+  show(64);
+  show(16);
+  return 0;
+}

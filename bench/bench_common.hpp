@@ -1,0 +1,41 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared pieces for the benchmark harnesses: the paper's §4 workload and
+/// small formatting helpers.  Each bench binary regenerates one table or
+/// figure; see DESIGN.md's per-experiment index.
+
+#include <cstdio>
+#include <string>
+
+#include "tce/common/error.hpp"
+#include "tce/common/strings.hpp"
+#include "tce/common/units.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/expr/parser.hpp"
+
+namespace tce::bench {
+
+/// The paper's §4 input (NWChem-representative contraction sequence).
+inline constexpr const char* kPaperProgram = R"(
+  index a, b, c, d = 480
+  index e, f = 64
+  index i, j, k, l = 32
+  T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+  T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+  S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+)";
+
+/// The paper's per-node memory limit (4 GB nodes).
+inline constexpr std::uint64_t kNodeLimit4GB = 4ull * 1000 * 1000 * 1000;
+
+inline ContractionTree paper_tree() {
+  return ContractionTree::from_sequence(
+      parse_formula_sequence(kPaperProgram));
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace tce::bench

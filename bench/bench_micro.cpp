@@ -1,0 +1,131 @@
+// Engineering micro-benchmarks (google-benchmark): search and substrate
+// costs — optimizer DP wall time, opmin subset DP scaling, max-min
+// fairness solver, flow simulation, the local contraction kernel, and
+// characterization generation.
+
+#include <benchmark/benchmark.h>
+
+#include "tce/opmin/opmin.hpp"
+#include "tce/simnet/maxmin.hpp"
+#include "tce/tensor/matmul.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tce;
+using namespace tce::bench;
+
+void BM_ParsePaperProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_formula_sequence(kPaperProgram));
+  }
+}
+BENCHMARK(BM_ParsePaperProgram);
+
+void BM_OptimizerPaperTree(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(procs));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = kNodeLimit4GB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(tree, model, cfg));
+  }
+}
+BENCHMARK(BM_OptimizerPaperTree)->Arg(16)->Arg(64);
+
+void BM_OptimizerWithReplication(benchmark::State& state) {
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(
+      characterize_itanium(static_cast<std::uint32_t>(state.range(0))));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = kNodeLimit4GB;
+  cfg.enable_replication_template = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(tree, model, cfg));
+  }
+}
+BENCHMARK(BM_OptimizerWithReplication)->Arg(16);
+
+void BM_OpminSubsetDP(benchmark::State& state) {
+  // Chain product of n matrices: W1[x0,x1]·W2[x1,x2]·...
+  const int n = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i <= n; ++i) {
+    text += "index x" + std::to_string(i) + " = " +
+            std::to_string(8 + 8 * (i % 3)) + "\n";
+  }
+  text += "S[x0,x" + std::to_string(n) + "] = sum[";
+  for (int i = 1; i < n; ++i) {
+    if (i > 1) text += ",";
+    text += "x" + std::to_string(i);
+  }
+  text += "] ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += " * ";
+    text += "W" + std::to_string(i) + "[x" + std::to_string(i) + ",x" +
+            std::to_string(i + 1) + "]";
+  }
+  ParsedProgram p = parse_program(text);
+  OpMinInput in = OpMinInput::from_statement(p.statements[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimize_operations(in, p.space));
+  }
+}
+BENCHMARK(BM_OpminSubsetDP)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MaxMinFairness(benchmark::State& state) {
+  const std::size_t nf = static_cast<std::size_t>(state.range(0));
+  const std::size_t nr = 64;
+  std::vector<ResourcePath> paths(nf);
+  std::vector<double> caps(nr, 100.0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    paths[f] = {static_cast<std::uint32_t>(f % nr),
+                static_cast<std::uint32_t>((f * 7 + 3) % nr)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maxmin_fair_rates(paths, caps));
+  }
+}
+BENCHMARK(BM_MaxMinFairness)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RingFlowSimulation(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  Network net(ClusterSpec::itanium2003(procs / 2));
+  std::vector<Flow> flows;
+  for (std::uint32_t r = 0; r < procs; ++r) {
+    flows.push_back({r, (r + 1) % procs, 1'000'000});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.run_flows(flows));
+  }
+}
+BENCHMARK(BM_RingFlowSimulation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ContractBlocks(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  DenseTensor a({0, 1}, {n, n}), b({1, 2}, {n, n}), c({0, 2}, {n, n});
+  a.fill_random(rng);
+  b.fill_random(rng);
+  for (auto _ : state) {
+    contract_blocks_acc(a, b, IndexSet::single(1), c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_ContractBlocks)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Characterize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        characterize_itanium(static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Characterize)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// The §4 "counter-intuitive trend" as a processor-count sweep: for a
+// fixed problem and a fixed per-node memory limit, *fewer* processors
+// force more loop fusion and therefore MORE communication — both in
+// absolute seconds and as a fraction of runtime.
+
+#include "tce/common/table.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tce;
+  using namespace tce::bench;
+
+  heading("Processor-count sweep — 4 GB/node, paper workload");
+
+  TextTable table({"procs", "nodes", "fused loops", "comm (s)",
+                   "runtime (s)", "comm %", "mem/node"});
+  for (std::size_t c = 1; c < 7; ++c) table.set_right_aligned(c);
+
+  for (std::uint32_t procs : {16u, 64u, 256u}) {
+    ContractionTree tree = paper_tree();
+    CharacterizedModel model(characterize_itanium(procs));
+    OptimizerConfig cfg;
+    cfg.mem_limit_node_bytes = kNodeLimit4GB;
+    OptimizedPlan plan = optimize(tree, model, cfg);
+
+    std::string fused;
+    for (const PlanStep& s : plan.steps) {
+      if (!s.fusion.empty()) {
+        if (!fused.empty()) fused += " ";
+        fused += s.result_name + ":" + s.fusion.str(tree.space());
+      }
+    }
+    if (fused.empty()) fused = "none";
+
+    table.add_row({std::to_string(procs),
+                   std::to_string(model.grid().nodes()), fused,
+                   fixed(plan.total_comm_s, 1),
+                   fixed(plan.total_runtime_s(), 1),
+                   fixed(100 * plan.comm_fraction(), 1),
+                   format_bytes_paper(plan.bytes_per_node())});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "paper narrative: \"as the number of available nodes decreases, "
+      "more loop fusions\nare necessary to keep the problem in the "
+      "available memory, resulting in higher\ncommunication costs\" "
+      "(7.0%% at 64 procs vs 27.3%% at 16 procs).\n");
+  return 0;
+}

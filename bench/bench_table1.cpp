@@ -1,0 +1,39 @@
+// Reproduces Table 1 of the paper: loop fusions, memory requirements and
+// communication costs of the §4 workload on 64 processors (32 nodes,
+// 4 GB/node) of the (simulated) Itanium cluster.
+//
+// Paper reference values:
+//   total communication 98.0 s = 7.0% of 1403.4 s; no fusion needed;
+//   memory ≈ 2.04 GB/node (+115.2 MB send/recv buffer); T1 never
+//   communicated.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tce;
+  using namespace tce::bench;
+
+  heading("Table 1 — 64 processors (32 nodes), 4 GB/node");
+
+  ContractionTree tree = paper_tree();
+  std::printf("characterizing the simulated cluster (64 procs)...\n");
+  CharacterizedModel model(characterize_itanium(64));
+
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = kNodeLimit4GB;
+  OptimizedPlan plan = optimize(tree, model, cfg);
+
+  std::printf("\n%s\n", plan.table(tree.space()).c_str());
+  std::printf("%s\n", plan.summary(tree.space()).c_str());
+
+  std::printf("paper reference: comm 98.0 s (7.0%% of 1403.4 s), "
+              "mem ≈ 2.04GB/node + 115.2MB buffer\n");
+  std::printf("measured:        comm %s s (%s%% of %s s), mem %s/node + "
+              "%s buffer\n",
+              fixed(plan.total_comm_s, 1).c_str(),
+              fixed(100 * plan.comm_fraction(), 1).c_str(),
+              fixed(plan.total_runtime_s(), 1).c_str(),
+              format_bytes_paper(plan.bytes_per_node()).c_str(),
+              format_bytes_paper(plan.buffer_bytes_per_node()).c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table 2 of the paper: the same workload on 16 processors
+// (8 nodes, 4 GB/node), where the 55.3 GB intermediate T1 no longer fits
+// and the f loop must be fused — T1(b,c,d,f) shrinks to T1(b,c,d) and is
+// rotated once per f iteration in both the producing and consuming
+// contractions, dominating communication.
+//
+// Paper reference values:
+//   total communication 1907.8 s = 27.3% of 6983.8 s; T1 fused over f
+//   (108.0 MB/node); D and T2 kept fixed in steps 1 and 2; memory
+//   ≈ 1.35 GB/node (+230.4 MB buffer).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tce;
+  using namespace tce::bench;
+
+  heading("Table 2 — 16 processors (8 nodes), 4 GB/node");
+
+  ContractionTree tree = paper_tree();
+  std::printf("characterizing the simulated cluster (16 procs)...\n");
+  CharacterizedModel model(characterize_itanium(16));
+
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = kNodeLimit4GB;
+  OptimizedPlan plan = optimize(tree, model, cfg);
+
+  std::printf("\n%s\n", plan.table(tree.space()).c_str());
+  std::printf("%s\n", plan.summary(tree.space()).c_str());
+
+  std::printf("paper reference: comm 1907.8 s (27.3%% of 6983.8 s), "
+              "mem ≈ 1.35GB/node + 230.4MB buffer\n");
+  std::printf("measured:        comm %s s (%s%% of %s s), mem %s/node + "
+              "%s buffer\n",
+              fixed(plan.total_comm_s, 1).c_str(),
+              fixed(100 * plan.comm_fraction(), 1).c_str(),
+              fixed(plan.total_runtime_s(), 1).c_str(),
+              format_bytes_paper(plan.bytes_per_node()).c_str(),
+              format_bytes_paper(plan.buffer_bytes_per_node()).c_str());
+  return 0;
+}

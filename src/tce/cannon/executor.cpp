@@ -1,0 +1,464 @@
+#include "tce/cannon/executor.hpp"
+
+#include <algorithm>
+
+#include "tce/common/error.hpp"
+#include "tce/tensor/matmul.hpp"
+
+namespace tce {
+
+namespace {
+
+/// Per-dimension block coordinate assignment: index -> block coordinate,
+/// where the index's extent is split `edge` ways.
+struct SplitSpec {
+  IndexId index;
+  std::uint32_t block;  // in [0, edge)
+};
+
+/// Block range of \p ref where the dims named in \p splits take the given
+/// block, all other dims whole.
+BlockRange range_for(const TensorRef& ref, const IndexSpace& space,
+                     std::uint32_t edge,
+                     const std::vector<SplitSpec>& splits) {
+  BlockRange r;
+  for (IndexId d : ref.dims) {
+    const std::uint64_t n = space.extent(d);
+    const SplitSpec* split = nullptr;
+    for (const auto& s : splits) {
+      if (s.index == d) split = &s;
+    }
+    if (split == nullptr) {
+      r.lo.push_back(0);
+      r.hi.push_back(n);
+    } else {
+      if (n % edge != 0) {
+        throw Error("run_cannon: extent of index '" + space.name(d) +
+                    "' (" + std::to_string(n) +
+                    ") must divide the grid edge " + std::to_string(edge));
+      }
+      const std::uint64_t chunk = n / edge;
+      r.lo.push_back(split->block * chunk);
+      r.hi.push_back((split->block + 1) * chunk);
+    }
+  }
+  return r;
+}
+
+/// The block triple (bi, bj, bk) processed by logical processor (w1, w2)
+/// at step s — see the file comment in executor.hpp.
+struct Triple {
+  std::uint32_t bi, bj, bk;
+};
+
+Triple triple_at(const CannonChoice& c, std::uint32_t e, std::uint32_t w1,
+                 std::uint32_t w2, std::uint32_t s) {
+  const std::uint32_t moving = (w1 + w2 + s) % e;
+  if (c.rot == c.k) return {w1, w2, moving};
+  if (c.rot == c.i) return {moving, w2, w1};
+  return {w1, moving, w2};  // rot == j
+}
+
+}  // namespace
+
+CannonRunResult run_cannon(const Network& net, const ProcGrid& grid,
+                           const IndexSpace& space,
+                           const ContractionNode& node,
+                           const CannonChoice& choice,
+                           const DenseTensor& left_full,
+                           const DenseTensor& right_full) {
+  if (node.kind != ContractionNode::Kind::kContraction ||
+      !node.batch_indices.empty()) {
+    throw Error("run_cannon: node is not a Cannon-representable contraction");
+  }
+  if (choice.i == kNoIndex || choice.j == kNoIndex ||
+      choice.k == kNoIndex) {
+    throw Error(
+        "run_cannon: the numeric executor requires a full (i,j,k) triplet");
+  }
+  TCE_EXPECTS(net.spec().procs() == grid.procs);
+
+  const std::uint32_t e = grid.edge;
+  // Physical rank of logical processor (w1, w2): the transposed
+  // orientation swaps the grid dimensions.
+  auto phys = [&](std::uint32_t w1, std::uint32_t w2) {
+    return choice.transposed ? grid.rank(w2, w1) : grid.rank(w1, w2);
+  };
+
+  // Reconstruct symbolic refs for the operands from their labeled dims.
+  TensorRef a_ref{"left", left_full.dims()};
+  TensorRef b_ref{"right", right_full.dims()};
+  const TensorRef& c_ref = node.tensor;
+
+  // Sanity: triplet indices belong to the right arrays.
+  TCE_EXPECTS(node.left_indices.contains(choice.i));
+  TCE_EXPECTS(node.right_indices.contains(choice.j));
+  TCE_EXPECTS(node.sum_indices.contains(choice.k));
+
+  // Per-logical-processor block state, flattened w1 * e + w2.
+  const std::size_t np = static_cast<std::size_t>(e) * e;
+  std::vector<DenseTensor> a_blk(np), b_blk(np), c_blk(np);
+  std::vector<Triple> coords(np);
+
+  for (std::uint32_t w1 = 0; w1 < e; ++w1) {
+    for (std::uint32_t w2 = 0; w2 < e; ++w2) {
+      const Triple t = triple_at(choice, e, w1, w2, 0);
+      const std::size_t p = static_cast<std::size_t>(w1) * e + w2;
+      coords[p] = t;
+      a_blk[p] = extract_block(
+          left_full, range_for(a_ref, space, e,
+                               {{choice.i, t.bi}, {choice.k, t.bk}}));
+      b_blk[p] = extract_block(
+          right_full, range_for(b_ref, space, e,
+                                {{choice.k, t.bk}, {choice.j, t.bj}}));
+      const BlockRange cr = range_for(
+          c_ref, space, e, {{choice.i, t.bi}, {choice.j, t.bj}});
+      std::vector<std::uint64_t> cext;
+      for (std::size_t d = 0; d < cr.rank(); ++d) {
+        cext.push_back(cr.extent(d));
+      }
+      c_blk[p] = DenseTensor(c_ref.dims, std::move(cext));
+    }
+  }
+
+  // Per-step per-rank compute: one block triple of the full loop space.
+  const std::uint64_t loop_total =
+      node.loop_indices().extent_product(space);
+  const std::uint64_t flops_per_block =
+      checked_mul(2, loop_total / (static_cast<std::uint64_t>(e) * e * e));
+
+  // Which arrays shift, and along which logical dimension (1 → w1−1,
+  // 2 → w2−1).  Canonical: left shifts along dim 2, right along dim 1,
+  // result along dim 1 (rot=i) or dim 2 (rot=j).
+  const bool a_rot = choice.rotates_left();
+  const bool b_rot = choice.rotates_right();
+  const bool c_rot = choice.rotates_result();
+
+  auto shifted = [&](std::uint32_t w1, std::uint32_t w2,
+                     int logical_dim) -> std::size_t {
+    if (logical_dim == 1) w1 = (w1 + e - 1) % e;
+    if (logical_dim == 2) w2 = (w2 + e - 1) % e;
+    return static_cast<std::size_t>(w1) * e + w2;
+  };
+
+  std::vector<Phase> phases;
+  phases.reserve(e);
+  std::uint64_t peak = 0;
+
+  for (std::uint32_t s = 0; s < e; ++s) {
+    Phase phase;
+    for (std::uint32_t w1 = 0; w1 < e; ++w1) {
+      for (std::uint32_t w2 = 0; w2 < e; ++w2) {
+        const std::size_t p = static_cast<std::size_t>(w1) * e + w2;
+        contract_blocks_acc(a_blk[p], b_blk[p], node.sum_indices, c_blk[p]);
+        phase.compute.push_back({phys(w1, w2), flops_per_block});
+
+        std::uint64_t resident = (a_blk[p].size() + b_blk[p].size() +
+                                  c_blk[p].size()) *
+                                 sizeof(double);
+        std::uint64_t largest_moving = 0;
+        if (a_rot) largest_moving = std::max(largest_moving, a_blk[p].size());
+        if (b_rot) largest_moving = std::max(largest_moving, b_blk[p].size());
+        if (c_rot) largest_moving = std::max(largest_moving, c_blk[p].size());
+        peak = std::max(peak, resident + largest_moving * sizeof(double));
+
+        // Emit the shift flows for this step (every step shifts; the last
+        // shift returns blocks to their aligned start — the √P-step
+        // rotation accounting of §3.2).
+        auto emit = [&](const DenseTensor& blk, int logical_dim) {
+          const std::size_t q = shifted(w1, w2, logical_dim);
+          const std::uint32_t src = phys(w1, w2);
+          const std::uint32_t dst =
+              phys(static_cast<std::uint32_t>(q / e),
+                   static_cast<std::uint32_t>(q % e));
+          if (src != dst) {
+            phase.flows.push_back({src, dst, blk.size() * sizeof(double)});
+          }
+        };
+        if (a_rot) emit(a_blk[p], 2);
+        if (b_rot) emit(b_blk[p], 1);
+        if (c_rot) emit(c_blk[p], choice.rot == choice.i ? 1 : 2);
+      }
+    }
+    phases.push_back(std::move(phase));
+
+    // Apply the shifts to the block state.
+    auto apply_shift = [&](std::vector<DenseTensor>& blocks,
+                           int logical_dim) {
+      std::vector<DenseTensor> next(np);
+      for (std::uint32_t w1 = 0; w1 < e; ++w1) {
+        for (std::uint32_t w2 = 0; w2 < e; ++w2) {
+          const std::size_t p = static_cast<std::size_t>(w1) * e + w2;
+          next[shifted(w1, w2, logical_dim)] = std::move(blocks[p]);
+        }
+      }
+      blocks = std::move(next);
+    };
+    if (a_rot) apply_shift(a_blk, 2);
+    if (b_rot) apply_shift(b_blk, 1);
+    if (c_rot) apply_shift(c_blk, choice.rot == choice.i ? 1 : 2);
+    // Track the result blocks' coordinates through their shifts.
+    if (c_rot) {
+      std::vector<Triple> next(np);
+      const int dim = choice.rot == choice.i ? 1 : 2;
+      for (std::uint32_t w1 = 0; w1 < e; ++w1) {
+        for (std::uint32_t w2 = 0; w2 < e; ++w2) {
+          const std::size_t p = static_cast<std::size_t>(w1) * e + w2;
+          next[shifted(w1, w2, dim)] = coords[p];
+        }
+      }
+      coords = std::move(next);
+    }
+  }
+
+  // Gather the result by tracked block coordinates.
+  CannonRunResult out;
+  out.result = make_tensor(c_ref, space);
+  for (std::uint32_t w1 = 0; w1 < e; ++w1) {
+    for (std::uint32_t w2 = 0; w2 < e; ++w2) {
+      const std::size_t p = static_cast<std::size_t>(w1) * e + w2;
+      const BlockRange cr =
+          range_for(c_ref, space, e,
+                    {{choice.i, coords[p].bi}, {choice.j, coords[p].bj}});
+      place_block(c_blk[p], cr, out.result);
+    }
+  }
+  out.timing = net.run_phases(phases);
+  out.peak_rank_bytes = peak;
+  return out;
+}
+
+
+CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
+                               const IndexSpace& space,
+                               const ContractionNode& node,
+                               const ReplicatedSpec& spec,
+                               const DenseTensor& left_full,
+                               const DenseTensor& right_full) {
+  if (node.kind != ContractionNode::Kind::kContraction ||
+      !node.batch_indices.empty()) {
+    throw Error(
+        "run_replicated: node is not a Cannon-representable contraction");
+  }
+  TCE_EXPECTS(net.spec().procs() == grid.procs);
+  const std::uint32_t e = grid.edge;
+
+  const DenseTensor& stat_full =
+      spec.replicate_right ? left_full : right_full;
+  const DenseTensor& repl_full =
+      spec.replicate_right ? right_full : left_full;
+  TensorRef stat_ref{"stationary", stat_full.dims()};
+  TCE_EXPECTS_MSG(distribution_valid_for(spec.stationary_dist, stat_ref),
+                  "stationary distribution names a missing dimension");
+  TCE_EXPECTS_MSG(distribution_valid_for(spec.result_dist, node.tensor),
+                  "result distribution names a missing dimension");
+
+  // The partial result before the reduction is split only by the
+  // stationary operand's result-side index (the position where the
+  // result and stationary distributions agree); the scatter position is
+  // a zero-cost relabel applied at gather time.
+  auto partial_pos = [&](int d) {
+    const IndexId r = spec.result_dist.at(d);
+    return (r != kNoIndex && spec.stationary_dist.at(d) == r) ? r
+                                                              : kNoIndex;
+  };
+  const Distribution partial_dist(partial_pos(1), partial_pos(2));
+
+  std::vector<Phase> phases;
+
+  // Allgather of the replicated operand (timing; numerically every rank
+  // simply reads repl_full).
+  {
+    const std::uint64_t total = repl_full.size() * sizeof(double);
+    const std::uint64_t block =
+        std::max<std::uint64_t>(total / grid.procs, 1);
+    for (std::uint32_t dist = 1; dist < grid.procs; dist *= 2) {
+      Phase phase;
+      for (std::uint32_t r = 0; r < grid.procs; ++r) {
+        if ((r ^ dist) < grid.procs) {
+          phase.flows.push_back({r, r ^ dist, block * dist});
+        }
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+
+  // Local compute: each rank contracts its stationary block against the
+  // replicated operand (every rank holds it whole; the contraction reads
+  // the k-slice matching the stationary block's summation range).
+  TensorRef repl_ref{"replicated", repl_full.dims()};
+  const IndexSet repl_dims = repl_ref.index_set();
+  const Distribution repl_slice_dist(
+      repl_dims.contains(spec.stationary_dist.at(1))
+          ? spec.stationary_dist.at(1)
+          : kNoIndex,
+      repl_dims.contains(spec.stationary_dist.at(2))
+          ? spec.stationary_dist.at(2)
+          : kNoIndex);
+
+  CannonRunResult out;
+  out.result = make_tensor(node.tensor, space);
+  std::uint64_t peak = 0;
+  Phase compute_phase;
+  const int split_dims =
+      (spec.stationary_dist.at(1) != kNoIndex ? 1 : 0) +
+      (spec.stationary_dist.at(2) != kNoIndex ? 1 : 0);
+  std::uint64_t per_rank_flops =
+      checked_mul(2, node.loop_indices().extent_product(space));
+  for (int d = 0; d < split_dims; ++d) per_rank_flops /= e;
+
+  for (std::uint32_t z1 = 0; z1 < e; ++z1) {
+    for (std::uint32_t z2 = 0; z2 < e; ++z2) {
+      const BlockRange sr = block_range(stat_ref, spec.stationary_dist,
+                                        space, grid, z1, z2);
+      DenseTensor stat_blk = extract_block(stat_full, sr);
+      DenseTensor repl_blk = extract_block(
+          repl_full,
+          block_range(repl_ref, repl_slice_dist, space, grid, z1, z2));
+      const BlockRange pr = block_range(node.tensor, partial_dist, space,
+                                        grid, z1, z2);
+      std::vector<std::uint64_t> pext;
+      for (std::size_t d = 0; d < pr.rank(); ++d) {
+        pext.push_back(pr.extent(d));
+      }
+      DenseTensor partial(node.tensor.dims, std::move(pext));
+      if (spec.replicate_right) {
+        contract_blocks_acc(stat_blk, repl_blk, node.sum_indices,
+                            partial);
+      } else {
+        contract_blocks_acc(repl_blk, stat_blk, node.sum_indices,
+                            partial);
+      }
+      compute_phase.compute.push_back({grid.rank(z1, z2),
+                                       per_rank_flops});
+      peak = std::max(peak, (stat_blk.size() + repl_full.size() +
+                             partial.size()) *
+                                sizeof(double));
+
+      // Accumulate into the full result; replicas (grid dims that split
+      // nothing of the stationary operand and carry no reduction) only
+      // contribute once.
+      bool contribute = true;
+      if (spec.stationary_dist.at(1) == kNoIndex && z1 != 0) {
+        contribute = false;
+      }
+      if (spec.stationary_dist.at(2) == kNoIndex && z2 != 0) {
+        contribute = false;
+      }
+      if (contribute) accumulate_block(partial, pr, out.result);
+    }
+  }
+  phases.push_back(std::move(compute_phase));
+
+  // Reduce-scatter of the partials (timing; the numeric sum happened in
+  // the accumulation above).
+  if (spec.reduce_dim != 0) {
+    TensorRef res_ref = node.tensor;
+    const std::uint64_t partial_bytes =
+        dist_size(res_ref, partial_dist, IndexSet(), space, grid) *
+        sizeof(double);
+    std::uint64_t payload = partial_bytes / 2;
+    auto rank_in_line = [&](std::uint32_t line, std::uint32_t pos) {
+      return spec.reduce_dim == 1 ? grid.rank(pos, line)
+                                  : grid.rank(line, pos);
+    };
+    for (std::uint32_t dist = e / 2; dist >= 1; dist /= 2) {
+      Phase phase;
+      for (std::uint32_t line = 0; line < e; ++line) {
+        for (std::uint32_t pos = 0; pos < e; ++pos) {
+          phase.flows.push_back({rank_in_line(line, pos),
+                                 rank_in_line(line, pos ^ dist),
+                                 std::max<std::uint64_t>(payload, 1)});
+        }
+      }
+      phases.push_back(std::move(phase));
+      payload /= 2;
+      if (dist == 1) break;
+    }
+  }
+
+  out.timing = net.run_phases(phases);
+  out.peak_rank_bytes = peak;
+  return out;
+}
+
+TreeRunResult run_tree(const Network& net, const ProcGrid& grid,
+                       const ContractionTree& tree,
+                       const std::map<NodeId, ExecChoice>& choices,
+                       const std::map<std::string, DenseTensor>& inputs) {
+  std::map<NodeId, DenseTensor> values;
+  TreeRunResult out;
+
+  for (NodeId id : tree.post_order()) {
+    const ContractionNode& n = tree.node(id);
+    switch (n.kind) {
+      case ContractionNode::Kind::kInput: {
+        auto it = inputs.find(n.tensor.name);
+        if (it == inputs.end()) {
+          throw Error("run_tree: missing input '" + n.tensor.name + "'");
+        }
+        values.emplace(id, it->second);
+        break;
+      }
+      case ContractionNode::Kind::kContraction: {
+        ExecChoice choice;
+        auto it = choices.find(id);
+        if (it != choices.end()) {
+          choice = it->second;
+        } else {
+          // Default: the first fully-assigned Cannon triplet.
+          bool found = false;
+          for (const auto& c : enumerate_cannon_choices(n)) {
+            if (c.i != kNoIndex && c.j != kNoIndex && c.k != kNoIndex) {
+              choice.cannon = c;
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            throw Error("run_tree: node '" + n.tensor.name +
+                        "' admits no fully-assigned Cannon triplet");
+          }
+        }
+        CannonRunResult r =
+            choice.replicated
+                ? run_replicated(net, grid, tree.space(), n, choice.repl,
+                                 values.at(n.left), values.at(n.right))
+                : run_cannon(net, grid, tree.space(), n, choice.cannon,
+                             values.at(n.left), values.at(n.right));
+        out.timing.comm_s += r.timing.comm_s;
+        out.timing.compute_s += r.timing.compute_s;
+        values.emplace(id, std::move(r.result));
+        break;
+      }
+      case ContractionNode::Kind::kReduce: {
+        // A pure reduction over locally complete data: modeled as local
+        // compute (one add per input element per processor share).
+        values.emplace(id, einsum_reduce(values.at(n.left), n.tensor.dims));
+        out.timing.compute_s +=
+            static_cast<double>(tree.flops(id) / grid.procs) /
+            net.spec().flops_per_proc;
+        break;
+      }
+    }
+    if (n.left != kNoNode) values.erase(n.left);
+    if (n.right != kNoNode) values.erase(n.right);
+  }
+  out.result = std::move(values.at(tree.root()));
+  return out;
+}
+
+TreeRunResult run_tree(const Network& net, const ProcGrid& grid,
+                       const ContractionTree& tree,
+                       const std::map<NodeId, CannonChoice>& choices,
+                       const std::map<std::string, DenseTensor>& inputs) {
+  std::map<NodeId, ExecChoice> exec;
+  for (const auto& [id, c] : choices) {
+    ExecChoice e;
+    e.cannon = c;
+    exec.emplace(id, e);
+  }
+  return run_tree(net, grid, tree, exec, inputs);
+}
+
+}  // namespace tce

@@ -1,0 +1,376 @@
+#include "tce/cli/cli.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "tce/codegen/codegen.hpp"
+#include "tce/common/error.hpp"
+#include "tce/core/forest.hpp"
+#include "tce/core/plan_json.hpp"
+#include "tce/core/simulate.hpp"
+#include "tce/common/strings.hpp"
+#include "tce/common/units.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/opmin/opmin.hpp"
+
+namespace tce {
+
+namespace {
+
+constexpr const char* kUsage = R"(tcemin — memory-constrained communication minimization for tensor
+contraction expressions (Cociorva et al., IPPS 2003)
+
+usage:
+  tcemin plan <program-file> [options]
+      Optimize the contraction program for a parallel machine and print
+      the per-array plan table, totals, and (optionally) pseudocode.
+        --procs N            processors, a perfect square (default 16)
+        --procs-per-node N   processors per node (default 2)
+        --mem-limit SIZE     per-node limit, e.g. 4GB (default unlimited)
+        --machine FILE       characterization file for the target machine
+                             (default: measure the bundled simulated
+                             itanium-2003 cluster)
+        --no-fusion          disallow loop fusion
+        --no-redistribution  disallow redistribution between steps
+        --replication        also consider the replicate-compute-reduce
+                             template (extension; see README)
+        --liveness           liveness-aware memory accounting (extension)
+        --pseudocode         also print the generated program
+        --json               print the plan as JSON instead of tables
+        --opmin              binarize multi-factor statements first
+
+  tcemin opmin <program-file>
+      Operation-minimize every multi-factor statement and print the
+      binarized sequence with naive/optimal operation counts.
+
+  tcemin validate <program-file> [options]
+      Optimize (single-tree programs) and compare the predicted
+      communication cost against a brute-force flow simulation of the
+      plan on the simulated cluster.  Accepts the same options as plan
+      (except --machine: validation needs the simulator itself).
+
+  tcemin characterize [options]
+      Measure a simulated cluster and print a characterization file.
+        --procs N            processors (default 16)
+        --procs-per-node N   processors per node (default 2)
+        --nic-bw B/S         NIC bandwidth, e.g. 27MB (default 27MB)
+        --latency SECONDS    per-message start-up (default 0.06)
+        --flops F/S          per-processor flop rate (default 615000000)
+
+  tcemin help
+      Show this text.
+
+Program files use the DSL:
+    index a, b = 480
+    index i = 32
+    T[a,b] = sum[i] X[a,i] * Y[i,b]
+)";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Minimal flag cursor over argv-style arguments.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  bool take_flag(const std::string& name) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (*it == name) {
+        args_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string take_option(const std::string& name,
+                          const std::string& fallback) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (*it == name) {
+        auto val = it + 1;
+        if (val == args_.end()) {
+          throw Error("option " + name + " needs a value");
+        }
+        std::string v = *val;
+        args_.erase(it, val + 1);
+        return v;
+      }
+    }
+    return fallback;
+  }
+
+  /// Takes the next positional argument.
+  std::string take_positional(const std::string& what) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (!it->starts_with("--")) {
+        std::string v = *it;
+        args_.erase(it);
+        return v;
+      }
+    }
+    throw Error("missing " + what);
+  }
+
+  void expect_empty() const {
+    if (!args_.empty()) {
+      throw Error("unexpected argument '" + args_.front() + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+CharacterizedModel load_or_measure(Args& args, std::uint32_t procs,
+                                   std::uint32_t per_node) {
+  const std::string machine = args.take_option("--machine", "");
+  if (!machine.empty()) {
+    std::ifstream in(machine);
+    if (!in) throw Error("cannot open machine file '" + machine + "'");
+    CharacterizationTable t = CharacterizationTable::load(in);
+    if (t.grid.procs != procs) {
+      throw Error("machine file is for " + std::to_string(t.grid.procs) +
+                  " processors, but --procs is " + std::to_string(procs));
+    }
+    return CharacterizedModel(std::move(t));
+  }
+  const ProcGrid grid = ProcGrid::make(procs, per_node);
+  Network net(ClusterSpec::itanium2003(grid.nodes()));
+  return CharacterizedModel(characterize(net, grid));
+}
+
+std::string cmd_plan(Args args) {
+  const std::string path = args.take_positional("program file");
+  const auto procs = static_cast<std::uint32_t>(
+      std::stoul(args.take_option("--procs", "16")));
+  const auto per_node = static_cast<std::uint32_t>(
+      std::stoul(args.take_option("--procs-per-node", "2")));
+  const std::string limit_text = args.take_option("--mem-limit", "");
+  const bool no_fusion = args.take_flag("--no-fusion");
+  const bool no_redist = args.take_flag("--no-redistribution");
+  const bool replication = args.take_flag("--replication");
+  const bool liveness = args.take_flag("--liveness");
+  const bool pseudocode = args.take_flag("--pseudocode");
+  const bool json = args.take_flag("--json");
+  const bool opmin = args.take_flag("--opmin");
+  CharacterizedModel model = load_or_measure(args, procs, per_node);
+  args.expect_empty();
+
+  const std::string text = read_file(path);
+  ParsedProgram program = parse_program(text);
+  FormulaSequence seq =
+      opmin ? binarize_program(program)
+            : to_formula_sequence(program, /*allow_forest=*/true);
+
+  OptimizerConfig cfg;
+  if (!limit_text.empty()) {
+    cfg.mem_limit_node_bytes = parse_byte_size(limit_text);
+  }
+  cfg.enable_fusion = !no_fusion;
+  cfg.enable_redistribution = !no_redist;
+  cfg.enable_replication_template = replication;
+  cfg.liveness_aware = liveness;
+
+  // A multi-output program is planned jointly as a forest.
+  ContractionForest forest = ContractionForest::from_sequence(seq);
+  if (forest.trees.size() == 1) {
+    const ContractionTree& tree = forest.trees[0];
+    OptimizedPlan plan = optimize(tree, model, cfg);
+    if (json) return plan_to_json(plan, tree.space()) + "\n";
+    std::string out = plan.table(tree.space()) + "\n" +
+                      plan.summary(tree.space());
+    if (pseudocode) {
+      out += "\n" + generate_pseudocode(tree, plan);
+    }
+    return out;
+  }
+
+  ForestPlan fp = optimize_forest(forest, model, cfg);
+  if (json) {
+    std::string out = "[";
+    for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+      if (t != 0) out += ",";
+      out += plan_to_json(fp.plans[t], forest.trees[t].space());
+    }
+    out += "]\n";
+    return out;
+  }
+  std::string out;
+  for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+    const ContractionTree& tree = forest.trees[t];
+    out += "output " + tree.node(tree.root()).tensor.name + ":\n";
+    out += fp.plans[t].table(tree.space()) + "\n";
+    if (pseudocode) {
+      out += generate_pseudocode(tree, fp.plans[t]) + "\n";
+    }
+  }
+  out += "total communication: " + fixed(fp.total_comm_s, 1) + " s\n";
+  out += "total runtime:       " + fixed(fp.total_runtime_s(), 1) +
+         " s (" + fixed(100.0 * fp.comm_fraction(), 1) +
+         "% communication)\n";
+  out += "memory per node:     " + format_bytes_paper(fp.bytes_per_node) +
+         "\n";
+  return out;
+}
+
+std::string cmd_opmin(Args args) {
+  const std::string path = args.take_positional("program file");
+  args.expect_empty();
+  ParsedProgram program = parse_program(read_file(path));
+
+  std::string out;
+  for (const auto& stmt : program.statements) {
+    if (stmt.factors.size() < 3) continue;
+    OpMinResult r = minimize_operations(OpMinInput::from_statement(stmt),
+                                        program.space);
+    out += "statement producing " + stmt.result.name + ":\n";
+    out += "  naive:   " + std::to_string(r.naive_flops) + " flops\n";
+    out += "  optimal: " + std::to_string(r.flops) + " flops\n";
+    out += r.sequence.str();
+  }
+  if (out.empty()) {
+    out = "no multi-factor statements; nothing to binarize\n";
+  } else {
+    FormulaSequence seq = binarize_program(program);
+    out += "full binarized program:\n" + seq.str();
+  }
+  return out;
+}
+
+std::string cmd_validate(Args args) {
+  const std::string path = args.take_positional("program file");
+  const auto procs = static_cast<std::uint32_t>(
+      std::stoul(args.take_option("--procs", "16")));
+  const auto per_node = static_cast<std::uint32_t>(
+      std::stoul(args.take_option("--procs-per-node", "2")));
+  const std::string limit_text = args.take_option("--mem-limit", "");
+  const bool replication = args.take_flag("--replication");
+  const bool liveness = args.take_flag("--liveness");
+  const bool opmin = args.take_flag("--opmin");
+  args.expect_empty();
+
+  const ProcGrid grid = ProcGrid::make(procs, per_node);
+  Network net(ClusterSpec::itanium2003(grid.nodes()));
+  CharacterizedModel model(characterize(net, grid));
+
+  ParsedProgram program = parse_program(read_file(path));
+  FormulaSequence seq = opmin ? binarize_program(program)
+                              : to_formula_sequence(program);
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+
+  OptimizerConfig cfg;
+  if (!limit_text.empty()) {
+    cfg.mem_limit_node_bytes = parse_byte_size(limit_text);
+  }
+  cfg.enable_replication_template = replication;
+  cfg.liveness_aware = liveness;
+  OptimizedPlan plan = optimize(tree, model, cfg);
+
+  std::string out;
+  double pred_total = 0, sim_total = 0;
+  for (const PlanStep& step : plan.steps) {
+    const double pred =
+        step.rot_left_s + step.rot_right_s + step.rot_result_s;
+    const double sim = simulate_step_comm(net, grid, tree, step);
+    pred_total += pred;
+    sim_total += sim;
+    out += step.result_name + ": predicted " + fixed(pred, 2) +
+           " s, simulated " + fixed(sim, 2) + " s\n";
+  }
+  const double err =
+      sim_total > 0 ? 100.0 * (pred_total - sim_total) / sim_total : 0.0;
+  out += "TOTAL: predicted " + fixed(pred_total, 2) + " s, simulated " +
+         fixed(sim_total, 2) + " s (" + fixed(err, 1) + "% error)\n";
+  return out;
+}
+
+std::string cmd_characterize(Args args) {
+  const auto procs = static_cast<std::uint32_t>(
+      std::stoul(args.take_option("--procs", "16")));
+  const auto per_node = static_cast<std::uint32_t>(
+      std::stoul(args.take_option("--procs-per-node", "2")));
+  const std::string nic = args.take_option("--nic-bw", "27MB");
+  const std::string latency = args.take_option("--latency", "0.06");
+  const std::string flops = args.take_option("--flops", "615000000");
+  args.expect_empty();
+
+  const ProcGrid grid = ProcGrid::make(procs, per_node);
+  ClusterSpec spec;
+  spec.nodes = grid.nodes();
+  spec.procs_per_node = per_node;
+  spec.nic_bw = static_cast<double>(parse_byte_size(nic));
+  spec.mem_bw = spec.nic_bw * 15.0;
+  spec.latency_s = std::stod(latency);
+  spec.flops_per_proc = std::stod(flops);
+  Network net(spec);
+  return characterize(net, grid).save_string();
+}
+
+}  // namespace
+
+std::uint64_t parse_byte_size(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          text[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) throw Error("bad size '" + text + "'");
+  const double value = std::stod(text.substr(0, i));
+  std::string suffix(trim(text.substr(i)));
+  for (auto& c : suffix) c = static_cast<char>(std::toupper(c));
+  double scale = 1;
+  if (suffix == "KB") {
+    scale = 1e3;
+  } else if (suffix == "MB") {
+    scale = 1e6;
+  } else if (suffix == "GB") {
+    scale = 1e9;
+  } else if (suffix == "TB") {
+    scale = 1e12;
+  } else if (!suffix.empty() && suffix != "B") {
+    throw Error("bad size suffix '" + suffix + "'");
+  }
+  if (value < 0) throw Error("negative size");
+  return static_cast<std::uint64_t>(value * scale);
+}
+
+CliResult run_cli(const std::vector<std::string>& args) {
+  CliResult result;
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      result.output = kUsage;
+      return result;
+    }
+    const std::string cmd = args[0];
+    Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
+    if (cmd == "plan") {
+      result.output = cmd_plan(std::move(rest));
+    } else if (cmd == "opmin") {
+      result.output = cmd_opmin(std::move(rest));
+    } else if (cmd == "validate") {
+      result.output = cmd_validate(std::move(rest));
+    } else if (cmd == "characterize") {
+      result.output = cmd_characterize(std::move(rest));
+    } else {
+      throw Error("unknown command '" + cmd + "'; try 'tcemin help'");
+    }
+  } catch (const InfeasibleError& e) {
+    result.exit_code = 2;
+    result.error = std::string("infeasible: ") + e.what() + "\n";
+  } catch (const std::exception& e) {
+    result.exit_code = 1;
+    result.error = std::string("error: ") + e.what() + "\n";
+  }
+  return result;
+}
+
+}  // namespace tce

@@ -1,0 +1,35 @@
+#pragma once
+/// \file cli.hpp
+/// The `tcemin` command-line interface, as a library so it is testable.
+///
+/// Subcommands:
+///   plan <program>        optimize a contraction program for a machine
+///   opmin <program>       operation-minimize a multi-term product
+///   characterize          measure a (simulated) machine -> table file
+///
+/// `tcemin help` prints the full usage text.  Program files use the DSL
+/// of tce/expr/parser.hpp; machine files use the characterization format
+/// of tce/costmodel/characterization.hpp.
+
+#include <string>
+#include <vector>
+
+namespace tce {
+
+/// Outcome of one CLI invocation.
+struct CliResult {
+  int exit_code = 0;
+  std::string output;  ///< What would go to stdout.
+  std::string error;   ///< What would go to stderr (empty on success).
+};
+
+/// Runs the CLI on \p args (argv[1..]); never throws — errors are
+/// reported through exit_code/error.
+CliResult run_cli(const std::vector<std::string>& args);
+
+/// Parses a byte-size argument: plain bytes ("1000000"), or with a
+/// KB/MB/GB suffix (decimal, e.g. "4GB" = 4e9).  Throws tce::Error on
+/// malformed input.
+std::uint64_t parse_byte_size(const std::string& text);
+
+}  // namespace tce

@@ -1,0 +1,27 @@
+#pragma once
+/// \file codegen.hpp
+/// Pseudocode generation for optimized plans.
+///
+/// The program synthesis system the paper belongs to ultimately emits
+/// parallel Fortran/C; this module renders the same structure as
+/// readable pseudocode so a user can inspect exactly what the optimizer
+/// decided: array allocations with their reduced (fused) shapes and
+/// block distributions, the fused loop nests (Fig. 2(c)), and one
+/// generalized-Cannon contraction line per tree node annotated with the
+/// rotation index and the arrays being rotated.
+///
+/// Structure: every maximal chain of fused edges forms a *cluster* that
+/// executes inside the union of its fused loops; intermediates on
+/// unfused edges are fully materialized and hoisted before the loops.
+
+#include "tce/core/plan.hpp"
+#include "tce/expr/contraction.hpp"
+
+namespace tce {
+
+/// Renders the plan for \p tree as pseudocode.  The plan must have been
+/// produced by optimize() on the same tree.
+std::string generate_pseudocode(const ContractionTree& tree,
+                                const OptimizedPlan& plan);
+
+}  // namespace tce

@@ -1,0 +1,60 @@
+#pragma once
+/// \file assert.hpp
+/// Contract-checking macros in the spirit of the C++ Core Guidelines
+/// (I.6/I.8: Expects/Ensures).  Violations throw tce::ContractViolation so
+/// that tests can assert on misuse; they are never compiled out, since the
+/// optimizer runs at compile time of the *user's* program and correctness
+/// of the search dominates raw speed.
+
+#include <stdexcept>
+#include <string>
+
+namespace tce {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* cond, const char* file,
+                    int line, const std::string& msg = {})
+      : std::logic_error(std::string(kind) + " failed: " + cond + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg))) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg = {}) {
+  throw ContractViolation(kind, cond, file, line, msg);
+}
+}  // namespace detail
+
+}  // namespace tce
+
+/// Precondition check: argument validation at public API boundaries.
+#define TCE_EXPECTS(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::tce::detail::contract_fail("Precondition", #cond, __FILE__,         \
+                                   __LINE__);                               \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define TCE_EXPECTS_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::tce::detail::contract_fail("Precondition", #cond, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define TCE_ENSURES(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::tce::detail::contract_fail("Postcondition", #cond, __FILE__,        \
+                                   __LINE__);                               \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define TCE_UNREACHABLE(msg)                                                \
+  ::tce::detail::contract_fail("Unreachable", (msg), __FILE__, __LINE__)

@@ -1,0 +1,38 @@
+#pragma once
+/// \file error.hpp
+/// User-facing error type for recoverable failures (bad input expressions,
+/// infeasible optimization problems, malformed characterization files).
+/// Distinct from ContractViolation, which signals programmer error.
+
+#include <stdexcept>
+#include <string>
+
+namespace tce {
+
+/// Recoverable, user-reportable error.  All library entry points that can
+/// fail on valid-typed but semantically bad input throw this.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the optimizer when no plan fits the memory limit.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the DSL parser on malformed input, with location info baked in.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t pos)
+      : Error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  /// Byte offset into the source string where the error was detected.
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+}  // namespace tce

@@ -1,0 +1,43 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation.  All stochastic pieces of the
+/// library (workload generators, random test shapes, tensor fills) take an
+/// explicit Rng so that every test and benchmark is reproducible bit for
+/// bit across runs and machines.
+
+#include <cstdint>
+#include <random>
+
+namespace tce {
+
+/// Thin wrapper over a fixed-engine PRNG with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal sample.
+  double normal() {
+    std::normal_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Underlying engine, for std::shuffle and friends.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tce

@@ -1,0 +1,59 @@
+#include "tce/common/table.hpp"
+
+#include <algorithm>
+
+#include "tce/common/assert.hpp"
+
+namespace tce {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), right_(headers_.size(), false) {
+  TCE_EXPECTS(!headers_.empty());
+}
+
+void TextTable::set_right_aligned(std::size_t col) {
+  TCE_EXPECTS(col < headers_.size());
+  right_[col] = true;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TCE_EXPECTS_MSG(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row,
+                      std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      if (c != 0) out += "  ";
+      if (right_[c]) out.append(pad, ' ');
+      out += row[c];
+      if (!right_[c] && c + 1 != row.size()) out.append(pad, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace tce

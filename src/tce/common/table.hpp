@@ -1,0 +1,36 @@
+#pragma once
+/// \file table.hpp
+/// Column-aligned plain-text table printer used by the benchmark harnesses
+/// to render the paper's Tables 1–2 (and the ablation tables) legibly.
+
+#include <string>
+#include <vector>
+
+namespace tce {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+/// Left-aligns by default; columns can be marked right-aligned (numbers).
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Marks a 0-based column as right-aligned.
+  void set_right_aligned(std::size_t col);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the full table, including a header underline, ending in '\n'.
+  std::string str() const;
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_;
+};
+
+}  // namespace tce

@@ -1,0 +1,28 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock stopwatch for reporting optimizer search times in the
+/// benchmark harnesses.
+
+#include <chrono>
+
+namespace tce {
+
+/// Starts on construction; elapsed_s() reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tce

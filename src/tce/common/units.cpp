@@ -1,0 +1,33 @@
+#include "tce/common/units.hpp"
+
+#include "tce/common/strings.hpp"
+
+namespace tce {
+
+std::string format_bytes_si(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1'000'000'000'000ULL) return fixed(b / 1e12, 2) + " TB";
+  if (bytes >= 1'000'000'000ULL) return fixed(b / 1e9, 2) + " GB";
+  if (bytes >= 1'000'000ULL) return fixed(b / 1e6, 2) + " MB";
+  if (bytes >= 1'000ULL) return fixed(b / 1e3, 2) + " KB";
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_bytes_paper(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kPaperGB) {
+    return fixed(b / static_cast<double>(kPaperGB), 3) + "GB";
+  }
+  if (bytes >= kPaperMB / 10) {
+    return fixed(b / static_cast<double>(kPaperMB), 1) + "MB";
+  }
+  // Below the paper's table range; fall back to readable small units.
+  if (bytes >= 1024) return fixed(b / 1024.0, 1) + "KB";
+  return std::to_string(bytes) + "B";
+}
+
+std::string format_seconds_paper(double seconds) {
+  return fixed(seconds, 1) + " sec.";
+}
+
+}  // namespace tce

@@ -1,0 +1,33 @@
+#pragma once
+/// \file units.hpp
+/// Byte-quantity formatting.  Two conventions are provided:
+///  * format_bytes_si   — ordinary SI units (1 MB = 10^6 B), used in logs;
+///  * format_bytes_paper — the convention the IPPS'03 paper uses in
+///    Tables 1–2, where 1 MB = 1,024,000 bytes and 1 GB = 1,024,000,000
+///    bytes (back-derived from the published table entries; e.g. array D on
+///    32 nodes is 117,964,800 B/node and is printed as "115.2MB").
+///    Reproducing it verbatim lets our benchmark tables match the paper's
+///    memory columns digit for digit.
+
+#include <cstdint>
+#include <string>
+
+namespace tce {
+
+/// Bytes per "paper megabyte" (see file comment).
+inline constexpr std::uint64_t kPaperMB = 1'024'000;
+/// Bytes per "paper gigabyte".
+inline constexpr std::uint64_t kPaperGB = 1'024'000'000;
+
+/// Formats with SI decimal units, choosing KB/MB/GB/TB automatically.
+std::string format_bytes_si(std::uint64_t bytes);
+
+/// Formats with the paper's table convention (MB below 1 paper-GB,
+/// GB above), one decimal for MB and three for GB — matching the paper's
+/// "115.2MB" / "1.728GB" style.
+std::string format_bytes_paper(std::uint64_t bytes);
+
+/// Formats a duration in seconds in the paper's "98.0 sec." style.
+std::string format_seconds_paper(double seconds);
+
+}  // namespace tce

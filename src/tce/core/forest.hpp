@@ -1,0 +1,48 @@
+#pragma once
+/// \file forest.hpp
+/// Joint optimization of multi-output programs (extension beyond the
+/// paper).
+///
+/// The trees of a forest execute sequentially and share the machine's
+/// memory, so their plans cannot be chosen independently: a tree that
+/// takes a cheap, memory-hungry plan forces its siblings into expensive
+/// fused plans.  The forest optimizer therefore asks each tree for its
+/// full (cost, memory) Pareto frontier and combines the frontiers with a
+/// running Pareto product, minimizing total communication subject to the
+/// shared per-node limit.
+///
+/// Memory accounting across trees:
+///  * summed model (the paper's): all arrays of all trees counted, plus
+///    the largest single message as the send/recv buffer;
+///  * liveness model: every tree's inputs stay resident for the whole
+///    program, a finished tree leaves only its output behind, and the
+///    running tree adds its live intermediates — the program peak is the
+///    max over tree positions.  Trees run in program order.
+
+#include "tce/core/plan.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/expr/forest.hpp"
+
+namespace tce {
+
+/// A complete plan for a multi-output program.
+struct ForestPlan {
+  std::vector<OptimizedPlan> plans;  ///< One per tree, program order.
+  double total_comm_s = 0;
+  double total_compute_s = 0;
+  /// Per-node memory under the active accounting (see file comment).
+  std::uint64_t bytes_per_node = 0;
+
+  double total_runtime_s() const { return total_comm_s + total_compute_s; }
+  double comm_fraction() const {
+    return total_runtime_s() > 0 ? total_comm_s / total_runtime_s() : 0.0;
+  }
+};
+
+/// Optimizes all trees jointly under the shared memory limit.  Throws
+/// InfeasibleError when no combination fits.
+ForestPlan optimize_forest(const ContractionForest& forest,
+                           const MachineModel& model,
+                           const OptimizerConfig& config = {});
+
+}  // namespace tce

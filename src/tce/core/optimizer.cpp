@@ -1,0 +1,863 @@
+#include "tce/core/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tce/common/error.hpp"
+#include "tce/costmodel/rotate_cost.hpp"
+#include "tce/fusion/fused.hpp"
+
+namespace tce {
+
+namespace {
+
+/// One partial solution at a node (§3.3): produced distribution, fusion
+/// with the parent, subtree cost and memory, plus provenance for plan
+/// extraction.
+struct Sol {
+  Distribution dist;
+  IndexSet fusion;
+  double cost = 0;
+  std::uint64_t mem = 0;      ///< Per-processor array bytes, subtree (the
+                              ///< paper's sum-over-all-arrays model).
+  std::uint64_t max_msg = 0;  ///< Per-processor largest message, subtree.
+  // Liveness accounting (extension; see OptimizerConfig::liveness_aware):
+  std::uint64_t peak = 0;     ///< Peak live intermediate bytes while the
+                              ///< subtree executes (inputs excluded).
+  std::uint64_t working = 0;  ///< Bytes that must stay live while the
+                              ///< parent executes (own array plus fused
+                              ///< children's working sets).
+  std::uint64_t input_bytes = 0;  ///< Σ input blocks in the subtree.
+
+  // Provenance.
+  bool replicated = false;      ///< Step template: replicate-compute-reduce.
+  bool replicate_right = false; ///< Which operand was replicated.
+  int reduce_dim = 0;           ///< Grid dim of the partial reduction.
+  CannonChoice choice{};
+  int left_sol = -1;   ///< Solution index in the child's set; -1 = leaf.
+  int right_sol = -1;
+  Distribution left_dist{};
+  Distribution right_dist{};
+  IndexSet eff_fused;
+  double rot_left = 0, rot_right = 0, rot_result = 0;
+  double redist_left = 0, redist_right = 0;
+};
+
+/// Weak Pareto dominance; the memory metrics compared depend on the
+/// accounting mode.
+bool dominates(const Sol& a, const Sol& b, bool liveness) {
+  if (a.cost > b.cost || a.max_msg > b.max_msg) return false;
+  if (liveness) {
+    return a.input_bytes + a.peak <= b.input_bytes + b.peak &&
+           a.working <= b.working;
+  }
+  return a.mem <= b.mem;
+}
+
+/// One way of obtaining an operand with a required distribution.
+struct Operand {
+  int sol = -1;           ///< Child solution index; -1 for a leaf.
+  IndexSet fusion;        ///< Child's fusion with this node (∅ for leaf).
+  double cost = 0;        ///< Child subtree cost, excluding redist.
+  double redist = 0;      ///< Redistribution cost paid here.
+  std::uint64_t mem = 0;  ///< Child subtree memory (summed model).
+  std::uint64_t max_msg = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t working = 0;
+  std::uint64_t input_bytes = 0;
+  IndexSet loop_indices;  ///< Child loop nest (for the nesting rule).
+};
+
+class Search {
+ public:
+  Search(const ContractionTree& tree, const MachineModel& model,
+         const OptimizerConfig& cfg)
+      : tree_(tree),
+        model_(model),
+        cfg_(cfg),
+        grid_(model.grid()),
+        space_(tree.space()) {}
+
+  OptimizedPlan run() {
+    solve_all();
+    return extract_plan(best_root_sol());
+  }
+
+  /// The Pareto frontier of full-tree plans over (cost, memory metric):
+  /// every trade-off between communication and memory the tree admits
+  /// under the configuration.  Sorted by increasing cost.
+  std::vector<OptimizedPlan> run_frontier() {
+    solve_all();
+    const auto& root_sols = sols_.at(tree_.root());
+    // Global Pareto filter across all root solutions, over
+    // (cost, memory metric, largest message) — the send/recv transient
+    // matters to downstream consumers (forest composition) just like
+    // array memory, so it must survive as its own dimension.
+    std::vector<const Sol*> frontier;
+    for (const Sol& s : root_sols) {
+      bool dominated = false;
+      for (const Sol& t : root_sols) {
+        if (&t == &s) continue;
+        const bool leq = t.cost <= s.cost && metric(t) <= metric(s) &&
+                         t.max_msg <= s.max_msg;
+        const bool strict = t.cost < s.cost || metric(t) < metric(s) ||
+                            t.max_msg < s.max_msg;
+        if (leq && strict) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) frontier.push_back(&s);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [&](const Sol* a, const Sol* b) {
+                if (a->cost != b->cost) return a->cost < b->cost;
+                if (metric(*a) != metric(*b)) {
+                  return metric(*a) < metric(*b);
+                }
+                return a->max_msg < b->max_msg;
+              });
+    // Drop duplicates (equal on all three coordinates).
+    std::vector<OptimizedPlan> plans;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (i > 0 && frontier[i]->cost == frontier[i - 1]->cost &&
+          metric(*frontier[i]) == metric(*frontier[i - 1]) &&
+          frontier[i]->max_msg == frontier[i - 1]->max_msg) {
+        continue;
+      }
+      plans.push_back(extract_plan(frontier[i]));
+    }
+    return plans;
+  }
+
+ private:
+  // ------------------------------------------------------------ helpers
+
+  void solve_all() {
+    for (NodeId id : tree_.post_order()) {
+      const ContractionNode& n = tree_.node(id);
+      switch (n.kind) {
+        case ContractionNode::Kind::kInput:
+          break;
+        case ContractionNode::Kind::kContraction:
+          solve_contraction(id);
+          break;
+        case ContractionNode::Kind::kReduce:
+          solve_reduce(id);
+          break;
+      }
+    }
+  }
+
+  /// The memory metric the active accounting mode compares and limits.
+  std::uint64_t metric(const Sol& s) const {
+    return cfg_.liveness_aware ? checked_add(s.input_bytes, s.peak)
+                               : s.mem;
+  }
+
+  const Sol* best_root_sol() const {
+    const NodeId root = tree_.root();
+    if (tree_.node(root).kind == ContractionNode::Kind::kInput) {
+      throw Error("optimize: tree is a single input array");
+    }
+    const auto& root_sols = sols_.at(root);
+    const Sol* best = nullptr;
+    for (const Sol& s : root_sols) {
+      if (best == nullptr || s.cost < best->cost) best = &s;
+    }
+    TCE_ENSURES(best != nullptr);
+    return best;
+  }
+
+  bool feasible(const Sol& s) const {
+    if (cfg_.mem_limit_node_bytes == 0) return true;
+    const std::uint64_t per_node = checked_mul(
+        checked_add(metric(s), s.max_msg), grid_.procs_per_node);
+    return per_node <= cfg_.mem_limit_node_bytes;
+  }
+
+  /// Candidate fused sets between node \p id and its parent.
+  std::vector<IndexSet> fusion_candidates(NodeId id) const {
+    if (cfg_.fixed_fusions.has_value()) {
+      auto it = cfg_.fixed_fusions->find(id);
+      return {it == cfg_.fixed_fusions->end() ? IndexSet() : it->second};
+    }
+    if (!cfg_.enable_fusion) return {IndexSet()};
+    std::vector<IndexSet> out;
+    for_each_subset(fusable_indices(tree_, id),
+                    [&](IndexSet f) { out.push_back(f); });
+    return out;
+  }
+
+  /// Iteration count contributed by the fused loops enclosing a node's
+  /// collectives.  Fused indices are never grid-distributed in this
+  /// search space, so each contributes its full extent.
+  double repeat_factor(IndexSet f_eff) const {
+    double r = 1.0;
+    for (IndexId j : f_eff) {
+      r *= static_cast<double>(space_.extent(j));
+    }
+    return r;
+  }
+
+  /// All ways to obtain the operand rooted at \p child with distribution
+  /// \p beta, given the consuming node's triplet indices.  When
+  /// \p any_dist is set (the replicated operand of a
+  /// replicate-compute-reduce step), the required distribution is
+  /// irrelevant — the allgather collects the array from whatever layout
+  /// it is in — so every child solution qualifies without
+  /// redistribution; \p beta is then only used for a leaf's storage
+  /// accounting.
+  std::vector<Operand> operand_options(NodeId child,
+                                       const Distribution& beta,
+                                       IndexSet triplet,
+                                       bool any_dist = false) const {
+    const ContractionNode& cn = tree_.node(child);
+    std::vector<Operand> out;
+    if (cn.kind == ContractionNode::Kind::kInput) {
+      // Inputs can be distributed initially in any way at zero cost.
+      Operand o;
+      o.mem = dist_bytes(cn.tensor, beta, IndexSet(), space_, grid_);
+      o.input_bytes = o.mem;  // inputs stay resident throughout
+      out.push_back(o);
+      return out;
+    }
+    const auto& sols = sols_.at(child);
+    for (int i = 0; i < static_cast<int>(sols.size()); ++i) {
+      const Sol& s = sols[static_cast<std::size_t>(i)];
+      if (!(s.fusion & triplet).empty()) continue;
+      Operand o;
+      o.sol = i;
+      o.fusion = s.fusion;
+      o.cost = s.cost;
+      o.mem = s.mem;
+      o.max_msg = s.max_msg;
+      o.peak = s.peak;
+      o.working = s.working;
+      o.input_bytes = s.input_bytes;
+      o.loop_indices = cn.loop_indices();
+      if (any_dist || s.dist == beta) {
+        out.push_back(o);
+      } else if (cfg_.enable_redistribution && s.fusion.empty()) {
+        // A fully materialized intermediate can be reshuffled once,
+        // outside any fused loops.
+        o.redist = redistribute_cost(model_, cn.tensor, s.dist, beta,
+                                     IndexSet(), space_);
+        o.max_msg = std::max(
+            o.max_msg,
+            dist_bytes(cn.tensor, s.dist, IndexSet(), space_, grid_));
+        out.push_back(o);
+      }
+    }
+    return out;
+  }
+
+  /// A compact storage distribution for a leaf (used for the replicated
+  /// operand, whose layout before the allgather is arbitrary): split the
+  /// first (up to) two dimensions.
+  Distribution compact_dist(const TensorRef& ref) const {
+    const IndexId d1 = ref.dims.size() > 0 ? ref.dims[0] : kNoIndex;
+    const IndexId d2 = ref.dims.size() > 1 ? ref.dims[1] : kNoIndex;
+    return Distribution(d1, d2);
+  }
+
+  /// Cost of the computation duplicated across grid dimensions the
+  /// node's block decomposition leaves unused: executing with only
+  /// \p split_dims of the two grid dimensions splitting work leaves a
+  /// factor √P per unused dimension of redundant flops on every
+  /// processor.  Fully assigned configurations (all of the paper's
+  /// solutions) have zero penalty.
+  double duplication_penalty(NodeId id, int split_dims) const {
+    TCE_EXPECTS(split_dims >= 0 && split_dims <= 2);
+    double dup = 1.0;
+    for (int d = split_dims; d < 2; ++d) {
+      dup *= static_cast<double>(grid_.edge);
+    }
+    if (dup == 1.0) return 0.0;
+    const double share = static_cast<double>(tree_.flops(id)) /
+                         static_cast<double>(grid_.procs);
+    return model_.compute_time(
+        static_cast<std::uint64_t>((dup - 1.0) * share));
+  }
+
+  /// Insert with in-place Pareto pruning within the (dist, fusion) state.
+  void insert_pruned(std::vector<Sol>& sols, Sol s) {
+    const bool lv = cfg_.liveness_aware;
+    for (const Sol& t : sols) {
+      if (t.dist == s.dist && t.fusion == s.fusion && dominates(t, s, lv)) {
+        ++stats_.dominated;
+        return;
+      }
+    }
+    std::erase_if(sols, [&](const Sol& t) {
+      if (t.dist == s.dist && t.fusion == s.fusion &&
+          dominates(s, t, lv)) {
+        ++stats_.dominated;
+        return true;
+      }
+      return false;
+    });
+    sols.push_back(std::move(s));
+  }
+
+  /// Bookkeeping shared by the solve_* functions after a node completes.
+  void note_node_solved(const std::vector<Sol>& sols) {
+    stats_.kept += sols.size();
+    stats_.max_per_node =
+        std::max<std::uint64_t>(stats_.max_per_node, sols.size());
+  }
+
+  // ------------------------------------------------------- contraction
+
+  void solve_contraction(NodeId id) {
+    const ContractionNode& n = tree_.node(id);
+    const auto choices = enumerate_cannon_choices(n);
+    const auto fusions = fusion_candidates(id);
+
+    std::vector<Sol> sols;
+    for (const CannonChoice& c : choices) {
+      IndexSet triplet;
+      for (IndexId t : {c.i, c.j, c.k}) {
+        if (t != kNoIndex) triplet.insert(t);
+      }
+      const double dup_penalty = duplication_penalty(
+          id, static_cast<int>(triplet.count()) - 1);
+      const Distribution alpha = c.result_dist();
+      const Distribution beta = c.left_dist();
+      const Distribution gamma = c.right_dist();
+
+      const auto lopts = operand_options(n.left, beta, triplet);
+      const auto ropts = operand_options(n.right, gamma, triplet);
+
+      for (IndexSet f_u : fusions) {
+        if (!(f_u & triplet).empty()) continue;
+        const std::uint64_t own_mem =
+            dist_bytes(n.tensor, alpha, f_u, space_, grid_);
+
+        for (const Operand& lo : lopts) {
+          if (!fusion_nesting_ok(f_u, lo.fusion, lo.loop_indices)) continue;
+          for (const Operand& ro : ropts) {
+            if (!fusion_nesting_ok(f_u, ro.fusion, ro.loop_indices)) {
+              continue;
+            }
+            const IndexSet f_eff = f_u | lo.fusion | ro.fusion;
+            const double repeat = repeat_factor(f_eff);
+
+            const TensorRef& lref = tree_.node(n.left).tensor;
+            const TensorRef& rref = tree_.node(n.right).tensor;
+
+            Sol s;
+            s.dist = alpha;
+            s.fusion = f_u;
+            s.choice = c;
+            s.left_sol = lo.sol;
+            s.right_sol = ro.sol;
+            s.left_dist = beta;
+            s.right_dist = gamma;
+            s.eff_fused = f_eff;
+            s.redist_left = lo.redist;
+            s.redist_right = ro.redist;
+
+            std::uint64_t msg = std::max(lo.max_msg, ro.max_msg);
+            if (c.rotates_left()) {
+              const std::uint64_t block =
+                  dist_bytes(lref, beta, f_eff, space_, grid_);
+              s.rot_left =
+                  repeat * model_.rotate_cost(block, c.left_rot_dim());
+              msg = std::max(msg, block);
+            }
+            if (c.rotates_right()) {
+              const std::uint64_t block =
+                  dist_bytes(rref, gamma, f_eff, space_, grid_);
+              s.rot_right =
+                  repeat * model_.rotate_cost(block, c.right_rot_dim());
+              msg = std::max(msg, block);
+            }
+            if (c.rotates_result()) {
+              const std::uint64_t block =
+                  dist_bytes(n.tensor, alpha, f_eff, space_, grid_);
+              s.rot_result =
+                  repeat * model_.rotate_cost(block, c.result_rot_dim());
+              msg = std::max(msg, block);
+            }
+
+            s.cost = lo.cost + ro.cost + lo.redist + ro.redist +
+                     s.rot_left + s.rot_right + s.rot_result +
+                     dup_penalty;
+            s.mem = checked_add(checked_add(lo.mem, ro.mem), own_mem);
+            s.max_msg = msg;
+            // Liveness: left subtree runs, then right (left's working set
+            // retained), then this node's loops with both operands and
+            // the accumulator live.
+            s.input_bytes = checked_add(lo.input_bytes, ro.input_bytes);
+            s.peak = std::max(
+                {lo.peak, checked_add(lo.working, ro.peak),
+                 checked_add(checked_add(lo.working, ro.working),
+                             own_mem)});
+            // A node fused with its parent re-executes inside the
+            // parent's loops, so *all* of its operands' working sets
+            // stay live alongside its slice buffer; an unfused node is
+            // materialized once and its operands are freed.
+            s.working = own_mem;
+            if (!f_u.empty()) {
+              s.working = checked_add(
+                  s.working, checked_add(lo.working, ro.working));
+            }
+
+            ++stats_.candidates;
+            if (!feasible(s)) {
+              ++stats_.infeasible;
+              continue;
+            }
+            insert_pruned(sols, std::move(s));
+          }
+        }
+      }
+    }
+    if (cfg_.enable_replication_template) {
+      solve_replicated(id, fusions, sols);
+    }
+
+    if (sols.empty()) {
+      throw InfeasibleError(
+          "no feasible solution at node producing '" + n.tensor.name +
+          "' under the memory limit");
+    }
+    note_node_solved(sols);
+    sols_[id] = std::move(sols);
+  }
+
+  // ----------------------------------------- replicate-compute-reduce
+
+  /// Enumerates replicate-compute-reduce executions of node \p id (see
+  /// OptimizerConfig::enable_replication_template): one operand is
+  /// gathered whole onto every processor, the other stays put in a
+  /// ⟨s_r, s_k⟩ block distribution, and the result partials are combined
+  /// with a reduce-scatter along the grid dimension holding s_k,
+  /// scattered there by j_pick.
+  void solve_replicated(NodeId id, const std::vector<IndexSet>& fusions,
+                        std::vector<Sol>& sols) {
+    const ContractionNode& n = tree_.node(id);
+    auto with_none = [](IndexSet set) {
+      std::vector<IndexId> v;
+      for (IndexId i : set) v.push_back(i);
+      v.push_back(kNoIndex);
+      return v;
+    };
+
+    for (bool repl_right : {false, true}) {
+      const NodeId stat_id = repl_right ? n.left : n.right;
+      const NodeId repl_id = repl_right ? n.right : n.left;
+      const TensorRef& stat_ref = tree_.node(stat_id).tensor;
+      const TensorRef& repl_ref = tree_.node(repl_id).tensor;
+      const IndexSet stat_side =
+          repl_right ? n.left_indices : n.right_indices;
+      const IndexSet repl_side =
+          repl_right ? n.right_indices : n.left_indices;
+      (void)stat_ref;
+
+      for (IndexId s_r : with_none(stat_side)) {
+        for (IndexId s_k : with_none(n.sum_indices)) {
+          for (bool tr : {false, true}) {
+            if (s_r == kNoIndex && s_k == kNoIndex && tr) continue;
+            Distribution delta(s_r, s_k);
+            if (tr) delta = delta.transposed();
+            const int reduce_dim = delta.dim_of(s_k);
+            const int split_dims = (s_r != kNoIndex ? 1 : 0) +
+                                   (s_k != kNoIndex ? 1 : 0);
+            const double dup_penalty = duplication_penalty(id, split_dims);
+
+            const auto stat_opts_base = [&] {
+              IndexSet trip;
+              if (s_r != kNoIndex) trip.insert(s_r);
+              if (s_k != kNoIndex) trip.insert(s_k);
+              return trip;
+            }();
+
+            for (IndexId j_pick : with_none(repl_side)) {
+              Distribution alpha(s_r, j_pick);
+              if (tr) alpha = alpha.transposed();
+              // The partial result before the reduce-scatter: only the
+              // stationary side's index splits it.
+              Distribution partial(s_r, kNoIndex);
+              if (tr) partial = partial.transposed();
+
+              IndexSet triplet = stat_opts_base;
+              if (j_pick != kNoIndex) triplet.insert(j_pick);
+
+              const auto sopts =
+                  operand_options(stat_id, delta, triplet);
+              const auto ropts = operand_options(
+                  repl_id, compact_dist(repl_ref), triplet,
+                  /*any_dist=*/true);
+
+              for (IndexSet f_u : fusions) {
+                if (!(f_u & triplet).empty()) continue;
+                const std::uint64_t own_mem =
+                    dist_bytes(n.tensor, alpha, f_u, space_, grid_);
+
+                for (const Operand& so : sopts) {
+                  if (!fusion_nesting_ok(f_u, so.fusion,
+                                         so.loop_indices)) {
+                    continue;
+                  }
+                  for (const Operand& ro : ropts) {
+                    if (!fusion_nesting_ok(f_u, ro.fusion,
+                                           ro.loop_indices)) {
+                      continue;
+                    }
+                    const IndexSet f_eff = f_u | so.fusion | ro.fusion;
+
+                    // Allgather of the replicated operand: once per
+                    // iteration of the fused loops that slice it.
+                    double ag_repeat = 1.0;
+                    for (IndexId j : f_eff & repl_ref.index_set()) {
+                      ag_repeat *= static_cast<double>(space_.extent(j));
+                    }
+                    const std::uint64_t slice_total =
+                        fused_bytes(repl_ref, f_eff, space_);
+                    const double ag =
+                        ag_repeat * model_.allgather_cost(slice_total);
+
+                    // Reduce-scatter of the result partials: once per
+                    // iteration of the fused loops that slice the
+                    // result (partials for other loops accumulate
+                    // locally and the reduction hoists out).
+                    const IndexSet f_red = f_eff & n.tensor.index_set();
+                    double red_repeat = 1.0;
+                    for (IndexId j : f_red) {
+                      red_repeat *= static_cast<double>(space_.extent(j));
+                    }
+                    const std::uint64_t partial_bytes = dist_bytes(
+                        n.tensor, partial, f_red, space_, grid_);
+                    double rs = 0;
+                    if (reduce_dim != 0) {
+                      rs = red_repeat * model_.reduce_scatter_cost(
+                                            partial_bytes, reduce_dim);
+                      // Without a scatter index the reduced result must
+                      // stay replicated along the line: allreduce ≈ 2x.
+                      if (j_pick == kNoIndex) rs *= 2.0;
+                    }
+
+                    // Transient storage: the gathered slice plus the
+                    // oversized partial coexist on every rank.
+                    const std::uint64_t own_block = dist_bytes(
+                        n.tensor, alpha, f_eff, space_, grid_);
+                    const std::uint64_t transient = checked_add(
+                        slice_total,
+                        partial_bytes > own_block
+                            ? partial_bytes - own_block
+                            : 0);
+
+                    Sol s;
+                    s.dist = alpha;
+                    s.fusion = f_u;
+                    s.replicated = true;
+                    s.replicate_right = repl_right;
+                    s.reduce_dim = reduce_dim;
+                    s.left_sol = repl_right ? so.sol : ro.sol;
+                    s.right_sol = repl_right ? ro.sol : so.sol;
+                    s.left_dist = repl_right ? delta : Distribution();
+                    s.right_dist = repl_right ? Distribution() : delta;
+                    s.eff_fused = f_eff;
+                    s.redist_left = repl_right ? so.redist : ro.redist;
+                    s.redist_right = repl_right ? ro.redist : so.redist;
+                    // Comm attribution: replicated side = allgather,
+                    // result = reduce.
+                    s.rot_left = repl_right ? 0 : ag;
+                    s.rot_right = repl_right ? ag : 0;
+                    s.rot_result = rs;
+
+                    s.cost = so.cost + ro.cost + so.redist + ro.redist +
+                             ag + rs + dup_penalty;
+                    s.mem = checked_add(checked_add(so.mem, ro.mem),
+                                        own_mem);
+                    s.max_msg =
+                        std::max({so.max_msg, ro.max_msg, transient});
+                    s.input_bytes =
+                        checked_add(so.input_bytes, ro.input_bytes);
+                    s.peak = std::max(
+                        {so.peak, checked_add(so.working, ro.peak),
+                         checked_add(checked_add(so.working, ro.working),
+                                     own_mem)});
+                    s.working = own_mem;
+                    if (!f_u.empty()) {
+                      s.working = checked_add(
+                          s.working,
+                          checked_add(so.working, ro.working));
+                    }
+
+                    ++stats_.candidates;
+                    if (!feasible(s)) {
+                      ++stats_.infeasible;
+                      continue;
+                    }
+                    insert_pruned(sols, std::move(s));
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ reduce
+
+  void solve_reduce(NodeId id) {
+    const ContractionNode& n = tree_.node(id);
+    const NodeId child = n.left;
+    const ContractionNode& cn = tree_.node(child);
+    const auto fusions = fusion_candidates(id);
+
+    // Child options: every distribution of a leaf, or the child's own
+    // (unfused) solutions.
+    struct ChildOpt {
+      Distribution dist;
+      int sol = -1;
+      double cost = 0;
+      std::uint64_t mem = 0, max_msg = 0;
+      std::uint64_t peak = 0, working = 0, input_bytes = 0;
+    };
+    std::vector<ChildOpt> copts;
+    if (cn.kind == ContractionNode::Kind::kInput) {
+      for (const Distribution& d : enumerate_distributions(cn.tensor)) {
+        ChildOpt o;
+        o.dist = d;
+        o.mem = dist_bytes(cn.tensor, d, IndexSet(), space_, grid_);
+        o.input_bytes = o.mem;
+        copts.push_back(o);
+      }
+    } else {
+      const auto& sols = sols_.at(child);
+      for (int i = 0; i < static_cast<int>(sols.size()); ++i) {
+        const Sol& s = sols[static_cast<std::size_t>(i)];
+        if (!s.fusion.empty()) continue;  // reduce consumes materialized
+        copts.push_back({s.dist, i, s.cost, s.mem, s.max_msg, s.peak,
+                         s.working, s.input_bytes});
+      }
+    }
+
+    std::vector<Sol> sols;
+    for (const ChildOpt& co : copts) {
+      // Result distribution: drop reduced indices from the child's pair.
+      auto position = [&](int d) {
+        const IndexId i = co.dist.at(d);
+        return (i != kNoIndex && n.sum_indices.contains(i)) ? kNoIndex : i;
+      };
+      const Distribution rdist(position(1), position(2));
+      const bool needs_allreduce = rdist != co.dist;
+
+      for (IndexSet f_u : fusions) {
+        if (!(f_u & rdist.index_set()).empty()) continue;
+        Sol s;
+        s.dist = rdist;
+        s.fusion = f_u;
+        s.left_sol = co.sol;
+        s.left_dist = co.dist;
+        s.eff_fused = f_u;
+        const std::uint64_t own_mem =
+            dist_bytes(n.tensor, rdist, f_u, space_, grid_);
+        std::uint64_t msg = co.max_msg;
+        if (needs_allreduce) {
+          // Partial sums are combined across the grid dimension(s) that
+          // held reduced indices; modeled with the redistribution curve.
+          const std::uint64_t block =
+              dist_bytes(n.tensor, rdist, f_u, space_, grid_);
+          s.rot_result =
+              repeat_factor(f_u) * model_.redistribute_cost(block);
+          msg = std::max(msg, block);
+        }
+        s.cost = co.cost + s.rot_result;
+        s.mem = checked_add(co.mem, own_mem);
+        s.max_msg = msg;
+        s.input_bytes = co.input_bytes;
+        s.peak = std::max(co.peak, checked_add(co.working, own_mem));
+        s.working = own_mem;
+        if (!f_u.empty()) {
+          s.working = checked_add(s.working, co.working);
+        }
+        ++stats_.candidates;
+        if (!feasible(s)) {
+          ++stats_.infeasible;
+          continue;
+        }
+        insert_pruned(sols, std::move(s));
+      }
+    }
+    if (sols.empty()) {
+      throw InfeasibleError(
+          "no feasible solution at reduce node producing '" +
+          n.tensor.name + "' under the memory limit");
+    }
+    note_node_solved(sols);
+    sols_[id] = std::move(sols);
+  }
+
+  // ----------------------------------------------------- plan extraction
+
+  OptimizedPlan extract_plan(const Sol* best) {
+    const NodeId root = tree_.root();
+
+    OptimizedPlan plan;
+    plan.total_comm_s = best->cost;
+    plan.total_compute_s =
+        model_.compute_time(tree_.total_flops() / grid_.procs);
+    plan.array_bytes_per_proc = best->mem;
+    plan.max_msg_bytes_per_proc = best->max_msg;
+    plan.peak_live_bytes_per_proc =
+        checked_add(best->input_bytes, best->peak);
+    plan.liveness_aware = cfg_.liveness_aware;
+    plan.procs_per_node = grid_.procs_per_node;
+    plan.stats = stats_;
+
+    // Walk the provenance tree, collecting steps (post-order) and array
+    // rows.  Consumer-side info for each child array is attached while
+    // visiting the parent.
+    struct ConsumerInfo {
+      Distribution dist;    ///< As consumed (⟨·,·⟩ = replicated).
+      double comm;
+      Distribution stored;  ///< Block layout it is *stored* in (differs
+                            ///< from `dist` for replicated operands,
+                            ///< which are gathered transiently).
+    };
+    std::map<NodeId, ConsumerInfo> consumed;
+    std::map<NodeId, const Sol*> chosen;
+
+    // First pass: resolve the chosen Sol of every visited node.
+    walk(root, best, [&](NodeId id, const Sol* s) { chosen[id] = s; });
+
+    // Second pass: steps and consumer info.
+    for (NodeId id : tree_.post_order()) {
+      auto it = chosen.find(id);
+      if (it == chosen.end()) continue;
+      const ContractionNode& n = tree_.node(id);
+      const Sol* s = it->second;
+      if (n.kind == ContractionNode::Kind::kContraction) {
+        PlanStep step;
+        step.node = id;
+        step.result_name = n.tensor.name;
+        step.tmpl = s->replicated ? StepTemplate::kReplicated
+                                  : StepTemplate::kCannon;
+        step.result_dist = s->dist;
+        step.replicate_right = s->replicate_right;
+        step.reduce_dim = s->reduce_dim;
+        step.choice = s->choice;
+        step.fusion = s->fusion;
+        step.effective_fused = s->eff_fused;
+        step.left_dist = s->left_dist;
+        step.right_dist = s->right_dist;
+        step.rot_left_s = s->rot_left;
+        step.rot_right_s = s->rot_right;
+        step.rot_result_s = s->rot_result;
+        step.redist_left_s = s->redist_left;
+        step.redist_right_s = s->redist_right;
+        plan.steps.push_back(step);
+        Distribution left_stored = s->left_dist;
+        Distribution right_stored = s->right_dist;
+        if (s->replicated) {
+          // The replicated operand is stored block-distributed and only
+          // gathered whole for the duration of the step.
+          if (s->replicate_right) {
+            right_stored = compact_dist(tree_.node(n.right).tensor);
+          } else {
+            left_stored = compact_dist(tree_.node(n.left).tensor);
+          }
+        }
+        consumed[n.left] = {s->left_dist, s->rot_left + s->redist_left,
+                            left_stored};
+        consumed[n.right] = {s->right_dist,
+                             s->rot_right + s->redist_right,
+                             right_stored};
+      } else if (n.kind == ContractionNode::Kind::kReduce) {
+        consumed[n.left] = {s->left_dist, 0.0, s->left_dist};
+      }
+    }
+
+    // Array rows: leaves first (tree order), then internal nodes.
+    auto add_row = [&](NodeId id) {
+      const ContractionNode& n = tree_.node(id);
+      ArrayReport row;
+      row.full = n.tensor;
+      row.is_input = n.kind == ContractionNode::Kind::kInput;
+      row.is_output = id == root;
+      IndexSet fusion;
+      Distribution stored_dist;
+      if (row.is_input) {
+        auto c = consumed.find(id);
+        TCE_ENSURES(c != consumed.end());
+        stored_dist = c->second.stored;
+        row.final_dist = c->second.dist;
+        row.comm_final_s = c->second.comm;
+      } else {
+        const Sol* s = chosen.at(id);
+        fusion = s->fusion;
+        stored_dist = s->dist;
+        row.initial_dist = s->dist;
+        row.comm_initial_s = s->rot_result;
+        auto c = consumed.find(id);
+        if (c != consumed.end()) {
+          row.final_dist = c->second.dist;
+          row.comm_final_s = c->second.comm;
+        }
+      }
+      row.reduced = fused_ref(n.tensor, fusion);
+      row.mem_per_node_bytes = checked_mul(
+          dist_bytes(n.tensor, stored_dist, fusion, space_, grid_),
+          grid_.procs_per_node);
+      plan.arrays.push_back(std::move(row));
+    };
+    for (NodeId id : tree_.leaves()) {
+      if (consumed.count(id) != 0) add_row(id);
+    }
+    for (NodeId id : tree_.post_order()) {
+      if (tree_.node(id).kind != ContractionNode::Kind::kInput &&
+          chosen.count(id) != 0) {
+        add_row(id);
+      }
+    }
+    return plan;
+  }
+
+  /// Visits the chosen solution of every internal node under (id, s).
+  template <typename Fn>
+  void walk(NodeId id, const Sol* s, Fn&& fn) {
+    fn(id, s);
+    const ContractionNode& n = tree_.node(id);
+    if (n.left != kNoNode && s->left_sol >= 0) {
+      walk(n.left,
+           &sols_.at(n.left)[static_cast<std::size_t>(s->left_sol)], fn);
+    }
+    if (n.right != kNoNode && s->right_sol >= 0) {
+      walk(n.right,
+           &sols_.at(n.right)[static_cast<std::size_t>(s->right_sol)], fn);
+    }
+  }
+
+  const ContractionTree& tree_;
+  const MachineModel& model_;
+  const OptimizerConfig& cfg_;
+  const ProcGrid& grid_;
+  const IndexSpace& space_;
+  std::map<NodeId, std::vector<Sol>> sols_;
+  SearchStats stats_;
+};
+
+}  // namespace
+
+OptimizedPlan optimize(const ContractionTree& tree,
+                       const MachineModel& model,
+                       const OptimizerConfig& config) {
+  Search search(tree, model, config);
+  return search.run();
+}
+
+std::vector<OptimizedPlan> optimize_frontier(const ContractionTree& tree,
+                                             const MachineModel& model,
+                                             const OptimizerConfig& config) {
+  Search search(tree, model, config);
+  return search.run_frontier();
+}
+
+}  // namespace tce

@@ -1,0 +1,94 @@
+#pragma once
+/// \file optimizer.hpp
+/// The paper's contribution (§3.3): memory-constrained communication
+/// minimization by bottom-up dynamic programming over the contraction
+/// tree.
+///
+/// At every node the optimizer enumerates all generalized-Cannon
+/// execution choices (triplet {i,j,k}, orientation, rotation index), all
+/// fused index sets between the node and its parent, and all ways of
+/// obtaining the operands (child solutions, optionally redistributed).
+/// Each combination yields a Solution carrying the produced distribution,
+/// the fusion with the parent, the subtree communication cost, and the
+/// subtree memory usage; solutions that exceed the memory limit or that
+/// are Pareto-dominated within their (distribution, fusion) state are
+/// pruned.  At the root, the cheapest feasible solution is extracted into
+/// an OptimizedPlan.
+///
+/// Cost model notes (see DESIGN.md §5 for the exact formulas):
+///  * RotateCost(v, α, i, f) = repeat(f_eff) · RCost(DistSize(v,α,f_eff),
+///    rot dim), where f_eff is the union of the node's fusion with its
+///    parent and its fused children's fusions — every collective at the
+///    node sits inside all of those loops.  For a rotated array that does
+///    not itself carry a fused index this charges the physically
+///    unavoidable re-rotation per iteration (the paper's printed formula
+///    would charge it only once; with that literal reading the published
+///    Table 2 solution would not be optimal under the paper's own
+///    numbers, so we price the repeat).
+///  * Fused loop indices are never grid-distributed here (distributions
+///    name only Cannon triplet indices), so LoopRange(j ∈ f) = N_j.
+///  * Redistribution is allowed only for fully materialized (unfused)
+///    intermediates and is hoisted outside fused loops.
+///  * Memory = Σ over all arrays of their per-processor block bytes (the
+///    paper's accounting in §4) plus the largest message as a
+///    send/receive buffer; the limit is checked per node
+///    (procs-per-node × per-processor bytes).
+
+#include "tce/core/plan.hpp"
+#include "tce/costmodel/machine_model.hpp"
+#include "tce/expr/contraction.hpp"
+
+#include <map>
+#include <optional>
+
+namespace tce {
+
+/// Optimizer knobs.  The defaults implement the paper's algorithm; the
+/// flags carve out the baseline strategies the benchmarks compare
+/// against.
+struct OptimizerConfig {
+  /// Per-node memory limit in bytes (0 = unlimited).
+  std::uint64_t mem_limit_node_bytes = 0;
+  /// Allow loop fusion (false = unfused plans only).
+  bool enable_fusion = true;
+  /// Allow redistribution of unfused intermediates between steps.
+  bool enable_redistribution = true;
+  /// When set, every node's fusion is frozen to the given set (the
+  /// "fuse first, then distribute" baseline); nodes absent from the map
+  /// are frozen to unfused.
+  std::optional<std::map<NodeId, IndexSet>> fixed_fusions;
+  /// Extension beyond the paper: additionally consider the
+  /// replicate–compute–reduce template at every contraction (allgather
+  /// one operand everywhere, keep the other stationary, reduce-scatter
+  /// the result partials).  When a contraction pairs a huge array with a
+  /// tiny one — exactly the paper's fused T1·C step — replicating the
+  /// tiny operand avoids rotating the huge one and can win by an order
+  /// of magnitude.  Off by default for paper fidelity.
+  bool enable_replication_template = false;
+  /// Extension beyond the paper: account memory as the *peak live set*
+  /// (inputs stay resident; an intermediate is freed once its consumer
+  /// finishes) instead of the paper's sum over all arrays.  Liveness
+  /// accounting never reduces the solution quality — it only admits
+  /// plans the summed model over-counts — so the optimum under it is at
+  /// most the paper-model optimum.
+  bool liveness_aware = false;
+};
+
+/// Runs the search.  Throws InfeasibleError when no plan fits the memory
+/// limit, tce::Error when the tree contains a node the Cannon framework
+/// cannot execute (batch indices).
+OptimizedPlan optimize(const ContractionTree& tree,
+                       const MachineModel& model,
+                       const OptimizerConfig& config = {});
+
+/// Runs the search and returns the whole Pareto frontier of root plans
+/// over (communication cost, memory metric), sorted by increasing cost —
+/// every communication/memory trade-off the tree admits.  The first
+/// element equals optimize()'s result.  Used by the forest optimizer to
+/// combine trees under a shared memory limit, and useful on its own to
+/// inspect the trade-off curve.
+std::vector<OptimizedPlan> optimize_frontier(
+    const ContractionTree& tree, const MachineModel& model,
+    const OptimizerConfig& config = {});
+
+}  // namespace tce

@@ -1,0 +1,60 @@
+#include "tce/core/plan.hpp"
+
+#include "tce/common/strings.hpp"
+#include "tce/common/table.hpp"
+#include "tce/common/units.hpp"
+
+namespace tce {
+
+namespace {
+
+std::string dist_or_na(const std::optional<Distribution>& d,
+                       const IndexSpace& space) {
+  return d.has_value() ? d->str(space) : "N/A";
+}
+
+std::string comm_or_na(const std::optional<double>& s) {
+  if (!s.has_value()) return "N/A";
+  if (*s == 0.0) return "0";
+  return format_seconds_paper(*s);
+}
+
+}  // namespace
+
+std::string OptimizedPlan::table(const IndexSpace& space) const {
+  TextTable t({"Full array", "Reduced array", "Initial dist.",
+               "Final dist.", "Mem./node", "Comm. (init.)",
+               "Comm. (final)"});
+  t.set_right_aligned(4);
+  t.set_right_aligned(5);
+  t.set_right_aligned(6);
+  for (const auto& row : arrays) {
+    t.add_row({row.full.str(space), row.reduced.str(space),
+               dist_or_na(row.initial_dist, space),
+               dist_or_na(row.final_dist, space),
+               format_bytes_paper(row.mem_per_node_bytes),
+               comm_or_na(row.comm_initial_s),
+               comm_or_na(row.comm_final_s)});
+  }
+  return t.str();
+}
+
+std::string OptimizedPlan::summary(const IndexSpace& space) const {
+  (void)space;
+  std::string out;
+  out += "total communication: " + fixed(total_comm_s, 1) + " s\n";
+  out += "total runtime:       " + fixed(total_runtime_s(), 1) + " s (" +
+         fixed(100.0 * comm_fraction(), 1) + "% communication)\n";
+  out += "memory per node:     " + format_bytes_paper(bytes_per_node()) +
+         " + " + format_bytes_paper(buffer_bytes_per_node()) +
+         " send/recv buffer\n";
+  if (liveness_aware) {
+    out += "peak live per node:  " +
+           format_bytes_paper(checked_mul(peak_live_bytes_per_proc,
+                                          procs_per_node)) +
+           " (liveness-aware accounting)\n";
+  }
+  return out;
+}
+
+}  // namespace tce

@@ -1,0 +1,149 @@
+#include "tce/core/plan_json.hpp"
+
+#include <cmath>
+
+#include "tce/common/strings.hpp"
+
+namespace tce {
+
+namespace {
+
+/// Minimal JSON writer: we only emit identifiers, numbers and fixed
+/// keys, but escape strings defensively anyway.
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Enough digits to round-trip comparisons in tooling.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string jdist(const Distribution& d, const IndexSpace& space) {
+  auto pos = [&](int i) {
+    const IndexId id = d.at(i);
+    return id == kNoIndex ? std::string("null") : jstr(space.name(id));
+  };
+  return "[" + pos(1) + "," + pos(2) + "]";
+}
+
+std::string jindexset(IndexSet s, const IndexSpace& space) {
+  std::vector<std::string> parts;
+  for (IndexId id : s) parts.push_back(jstr(space.name(id)));
+  return "[" + join(parts, ",") + "]";
+}
+
+std::string jdims(const std::vector<IndexId>& dims,
+                  const IndexSpace& space) {
+  std::vector<std::string> parts;
+  for (IndexId id : dims) parts.push_back(jstr(space.name(id)));
+  return "[" + join(parts, ",") + "]";
+}
+
+}  // namespace
+
+std::string plan_to_json(const OptimizedPlan& plan,
+                         const IndexSpace& space) {
+  std::string out = "{";
+  out += "\"total_comm_s\":" + jnum(plan.total_comm_s);
+  out += ",\"total_compute_s\":" + jnum(plan.total_compute_s);
+  out += ",\"comm_fraction\":" + jnum(plan.comm_fraction());
+  out += ",\"memory\":{";
+  out += "\"array_bytes_per_node\":" + std::to_string(plan.bytes_per_node());
+  out += ",\"buffer_bytes_per_node\":" +
+         std::to_string(plan.buffer_bytes_per_node());
+  out += ",\"peak_live_bytes_per_node\":" +
+         std::to_string(plan.peak_live_bytes_per_proc *
+                        plan.procs_per_node);
+  out += std::string(",\"liveness_aware\":") +
+         (plan.liveness_aware ? "true" : "false");
+  out += "}";
+
+  out += ",\"steps\":[";
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    if (i != 0) out += ",";
+    out += "{";
+    out += "\"result\":" + jstr(s.result_name);
+    out += std::string(",\"template\":") +
+           (s.tmpl == StepTemplate::kReplicated ? "\"replicated\""
+                                                : "\"cannon\"");
+    out += ",\"fusion\":" + jindexset(s.fusion, space);
+    out += ",\"effective_fused\":" + jindexset(s.effective_fused, space);
+    out += ",\"left_dist\":" + jdist(s.left_dist, space);
+    out += ",\"right_dist\":" + jdist(s.right_dist, space);
+    out += ",\"result_dist\":" + jdist(s.result_dist, space);
+    out += ",\"rotation_index\":" +
+           (s.tmpl == StepTemplate::kCannon && s.choice.rot != kNoIndex
+                ? jstr(space.name(s.choice.rot))
+                : std::string("null"));
+    out += std::string(",\"replicate_right\":") +
+           (s.replicate_right ? "true" : "false");
+    out += ",\"reduce_dim\":" + std::to_string(s.reduce_dim);
+    out += ",\"comm_s\":{";
+    out += "\"left\":" + jnum(s.rot_left_s);
+    out += ",\"right\":" + jnum(s.rot_right_s);
+    out += ",\"result\":" + jnum(s.rot_result_s);
+    out += ",\"redist_left\":" + jnum(s.redist_left_s);
+    out += ",\"redist_right\":" + jnum(s.redist_right_s);
+    out += "}}";
+  }
+  out += "]";
+
+  out += ",\"arrays\":[";
+  for (std::size_t i = 0; i < plan.arrays.size(); ++i) {
+    const ArrayReport& a = plan.arrays[i];
+    if (i != 0) out += ",";
+    out += "{";
+    out += "\"name\":" + jstr(a.full.name);
+    out += ",\"dims\":" + jdims(a.full.dims, space);
+    out += ",\"reduced_dims\":" + jdims(a.reduced.dims, space);
+    out += std::string(",\"kind\":") +
+           (a.is_input ? "\"input\""
+                       : (a.is_output ? "\"output\"" : "\"intermediate\""));
+    out += ",\"initial_dist\":" +
+           (a.initial_dist ? jdist(*a.initial_dist, space)
+                           : std::string("null"));
+    out += ",\"final_dist\":" +
+           (a.final_dist ? jdist(*a.final_dist, space)
+                         : std::string("null"));
+    out += ",\"mem_per_node_bytes\":" +
+           std::to_string(a.mem_per_node_bytes);
+    out += ",\"comm_initial_s\":" +
+           (a.comm_initial_s ? jnum(*a.comm_initial_s)
+                             : std::string("null"));
+    out += ",\"comm_final_s\":" +
+           (a.comm_final_s ? jnum(*a.comm_final_s) : std::string("null"));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tce

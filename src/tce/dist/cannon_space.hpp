@@ -1,0 +1,90 @@
+#pragma once
+/// \file cannon_space.hpp
+/// Enumeration of generalized Cannon execution choices for one contraction
+/// (§3.1).
+///
+/// A contraction C(I,J) += A(I,K)·B(K,J) is executed by picking a triplet
+/// {i,j,k} with i∈I, j∈J, k∈K, which fixes the distributions
+///   α = ⟨i,j⟩ for the result C,
+///   β = ⟨i,k⟩ for the left operand A,
+///   γ = ⟨k,j⟩ for the right operand B,
+/// plus a *rotation index* (one of i, j, k): the two arrays containing the
+/// rotation index in their index sets are rotated around the grid in √P
+/// steps while the third stays fixed.  The paper counts 3·NI·NJ·NK
+/// distinct communication patterns; we additionally enumerate the
+/// transposed orientation (grid dimensions swapped — the paper's own
+/// Table 1 solution uses it), giving 2·3·NI·NJ·NK candidates.
+///
+/// Index sets may be empty (matrix–vector or outer-product shapes); the
+/// corresponding position is left unassigned and the rotation index is
+/// restricted to assigned positions.
+
+#include <vector>
+
+#include "tce/dist/distribution.hpp"
+#include "tce/expr/contraction.hpp"
+
+namespace tce {
+
+/// One fully specified generalized-Cannon execution choice.
+struct CannonChoice {
+  IndexId i = kNoIndex;  ///< Chosen index from I (left-only).
+  IndexId j = kNoIndex;  ///< Chosen index from J (right-only).
+  IndexId k = kNoIndex;  ///< Chosen index from K (summation).
+  bool transposed = false;  ///< Swap the two grid dimensions.
+  IndexId rot = kNoIndex;   ///< Rotation index: one of {i, j, k}.
+
+  /// α — distribution of the result array.
+  Distribution result_dist() const {
+    Distribution d(i, j);
+    return transposed ? d.transposed() : d;
+  }
+  /// β — distribution of the left operand.
+  Distribution left_dist() const {
+    Distribution d(i, k);
+    return transposed ? d.transposed() : d;
+  }
+  /// γ — distribution of the right operand.
+  Distribution right_dist() const {
+    Distribution d(k, j);
+    return transposed ? d.transposed() : d;
+  }
+
+  /// An array rotates iff it holds the rotation index.
+  bool rotates_left() const { return rot == i || rot == k; }
+  bool rotates_right() const { return rot == k || rot == j; }
+  bool rotates_result() const { return rot == i || rot == j; }
+
+  /// Grid dimension (1 or 2) along which the left operand's blocks move;
+  /// 0 when it does not rotate.  A rotating array shifts along the grid
+  /// dimension *opposite* to the one where its shared (non-rotating)
+  /// coordinate is pinned by the fixed array, so that the shared
+  /// coordinates of the blocks meeting at a processor always match.  In
+  /// the canonical orientation this resolves to: a rotating left operand
+  /// moves along dim 2, a rotating right operand along dim 1, and a
+  /// rotating result along dim 1 for rot = i or dim 2 for rot = j.  The
+  /// transposed orientation flips the dimensions.
+  int left_rot_dim() const {
+    if (!rotates_left()) return 0;
+    return flip(2);
+  }
+  int right_rot_dim() const {
+    if (!rotates_right()) return 0;
+    return flip(1);
+  }
+  int result_rot_dim() const {
+    if (!rotates_result()) return 0;
+    return flip(rot == i ? 1 : 2);
+  }
+
+ private:
+  int flip(int dim) const { return transposed ? 3 - dim : dim; }
+};
+
+/// All Cannon choices for a contraction node.  Throws tce::Error when the
+/// node is not Cannon-representable (batch indices present) or when all
+/// three index sets are empty.
+std::vector<CannonChoice> enumerate_cannon_choices(
+    const ContractionNode& node);
+
+}  // namespace tce

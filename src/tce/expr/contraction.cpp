@@ -1,0 +1,241 @@
+#include "tce/expr/contraction.hpp"
+
+#include <map>
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+NodeId ContractionTree::add_node(ContractionNode n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+namespace {
+
+/// Fills the (I, J, K, H) decomposition of a binary node from its operand
+/// index sets; throws on inconsistency.
+void decompose(ContractionNode& n, IndexSet left_set, IndexSet right_set,
+               const IndexSpace& space) {
+  const IndexSet result = n.tensor.index_set();
+  const IndexSet shared = left_set & right_set;
+  if (!n.sum_indices.subset_of(shared)) {
+    throw Error("summation indices " + n.sum_indices.str(space) +
+                " of " + n.tensor.str(space) +
+                " must appear in both operands");
+  }
+  n.left_indices = (left_set - right_set) & result;
+  n.right_indices = (right_set - left_set) & result;
+  n.batch_indices = shared & result;
+  const IndexSet covered =
+      n.left_indices | n.right_indices | n.batch_indices;
+  if (covered != result) {
+    throw Error("result indices of " + n.tensor.str(space) +
+                " not covered by operands");
+  }
+  // Shared indices must be either summed or kept (batch); anything else
+  // (a shared index that vanishes without summation) is ill-formed and
+  // already rejected by FormulaSequence::validate().
+  TCE_ENSURES((shared - n.sum_indices) == n.batch_indices);
+}
+
+}  // namespace
+
+ContractionTree ContractionTree::from_expr(const ExprTree& tree) {
+  ContractionTree out;
+  out.space_ = tree.space();
+
+  // Maps ExprTree node id -> ContractionTree node id.  Sum chains collapse:
+  // a kSum whose child maps to a contraction node that is not yet consumed
+  // folds its indices into that node and maps to the same id.
+  std::map<NodeId, NodeId> to_out;
+
+  for (NodeId id : tree.post_order()) {
+    const ExprNode& e = tree.node(id);
+    switch (e.kind) {
+      case ExprNode::Kind::kLeaf: {
+        ContractionNode n;
+        n.kind = ContractionNode::Kind::kInput;
+        n.tensor = e.tensor;
+        to_out[id] = out.add_node(std::move(n));
+        break;
+      }
+      case ExprNode::Kind::kMult:
+      case ExprNode::Kind::kContract: {
+        ContractionNode n;
+        n.kind = ContractionNode::Kind::kContraction;
+        n.tensor = e.tensor;
+        n.sum_indices = e.sum_indices;  // empty for kMult
+        n.left = to_out.at(e.left);
+        n.right = to_out.at(e.right);
+        const IndexSet ls =
+            out.nodes_[static_cast<std::size_t>(n.left)].tensor.index_set();
+        const IndexSet rs =
+            out.nodes_[static_cast<std::size_t>(n.right)].tensor.index_set();
+        decompose(n, ls, rs, out.space_);
+        NodeId nid = out.add_node(std::move(n));
+        out.nodes_[static_cast<std::size_t>(out.nodes_[nid].left)].parent =
+            nid;
+        out.nodes_[static_cast<std::size_t>(out.nodes_[nid].right)].parent =
+            nid;
+        to_out[id] = nid;
+        break;
+      }
+      case ExprNode::Kind::kSum: {
+        // Summations commute, so a chain of kSum nodes above a kMult can
+        // be re-associated freely: every summed index shared by both
+        // operands of the multiplication folds into the contraction's K
+        // (the product is accumulated, never materialized); the remaining
+        // indices stay in (at most one) kReduce node above it.
+        const NodeId m = to_out.at(e.left);
+        const bool m_is_reduce =
+            out.nodes_[static_cast<std::size_t>(m)].kind ==
+            ContractionNode::Kind::kReduce;
+        const NodeId c =
+            m_is_reduce ? out.nodes_[static_cast<std::size_t>(m)].left : m;
+
+        IndexSet rest = e.sum_indices;
+        ContractionNode& cn = out.nodes_[static_cast<std::size_t>(c)];
+        if (cn.kind == ContractionNode::Kind::kContraction) {
+          const IndexSet ls =
+              out.nodes_[static_cast<std::size_t>(cn.left)]
+                  .tensor.index_set();
+          const IndexSet rs =
+              out.nodes_[static_cast<std::size_t>(cn.right)]
+                  .tensor.index_set();
+          const IndexSet fold = rest & ls & rs;
+          if (!fold.empty()) {
+            rest = rest - fold;
+            cn.sum_indices = cn.sum_indices | fold;
+            // Shrink the contraction's result array by the folded dims.
+            TensorRef shrunk;
+            shrunk.name = cn.tensor.name;
+            for (IndexId d : cn.tensor.dims) {
+              if (!fold.contains(d)) shrunk.dims.push_back(d);
+            }
+            cn.tensor = std::move(shrunk);
+            decompose(cn, ls, rs, out.space_);
+          }
+        }
+
+        if (m_is_reduce) {
+          ContractionNode& rn = out.nodes_[static_cast<std::size_t>(m)];
+          rn.sum_indices = rn.sum_indices | rest;
+          rn.tensor = e.tensor;
+          to_out[id] = m;
+        } else if (rest.empty()) {
+          out.nodes_[static_cast<std::size_t>(m)].tensor = e.tensor;
+          to_out[id] = m;
+        } else {
+          ContractionNode n;
+          n.kind = ContractionNode::Kind::kReduce;
+          n.tensor = e.tensor;
+          n.sum_indices = rest;
+          n.left = m;
+          NodeId nid = out.add_node(std::move(n));
+          out.nodes_[static_cast<std::size_t>(m)].parent = nid;
+          to_out[id] = nid;
+        }
+        break;
+      }
+    }
+  }
+
+  out.root_ = to_out.at(tree.root());
+  return out;
+}
+
+ContractionTree ContractionTree::from_sequence(const FormulaSequence& seq) {
+  return from_expr(ExprTree::from_sequence(seq));
+}
+
+std::vector<NodeId> ContractionTree::post_order() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<std::pair<NodeId, bool>> stack;
+  stack.emplace_back(root_, false);
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (id == kNoNode) continue;
+    if (expanded) {
+      order.push_back(id);
+      continue;
+    }
+    stack.emplace_back(id, true);
+    const ContractionNode& n = node(id);
+    stack.emplace_back(n.right, false);
+    stack.emplace_back(n.left, false);
+  }
+  TCE_ENSURES(order.size() == nodes_.size());
+  return order;
+}
+
+std::vector<NodeId> ContractionTree::leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId id : post_order()) {
+    if (node(id).kind == ContractionNode::Kind::kInput) out.push_back(id);
+  }
+  return out;
+}
+
+std::uint64_t ContractionTree::flops(NodeId id) const {
+  const ContractionNode& n = node(id);
+  switch (n.kind) {
+    case ContractionNode::Kind::kInput:
+      return 0;
+    case ContractionNode::Kind::kContraction:
+      return checked_mul(2, n.loop_indices().extent_product(space_));
+    case ContractionNode::Kind::kReduce:
+      return node(n.left).tensor.index_set().extent_product(space_);
+  }
+  TCE_UNREACHABLE("bad node kind");
+}
+
+std::uint64_t ContractionTree::total_flops() const {
+  std::uint64_t total = 0;
+  for (NodeId id : post_order()) total = checked_add(total, flops(id));
+  return total;
+}
+
+std::uint64_t ContractionTree::total_bytes_unfused() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total = checked_add(total, tensor_bytes(n.tensor, space_));
+  }
+  return total;
+}
+
+void ContractionTree::render(NodeId id, int depth, std::string& out) const {
+  const ContractionNode& n = node(id);
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (n.kind) {
+    case ContractionNode::Kind::kInput:
+      out += "input " + n.tensor.str(space_);
+      break;
+    case ContractionNode::Kind::kContraction:
+      out += "contract " + n.tensor.str(space_) + "  I=" +
+             n.left_indices.str(space_) + " J=" +
+             n.right_indices.str(space_) + " K=" +
+             n.sum_indices.str(space_);
+      if (!n.batch_indices.empty()) {
+        out += " H=" + n.batch_indices.str(space_);
+      }
+      break;
+    case ContractionNode::Kind::kReduce:
+      out += "reduce" + n.sum_indices.str(space_) + " " +
+             n.tensor.str(space_);
+      break;
+  }
+  out += '\n';
+  if (n.left != kNoNode) render(n.left, depth + 1, out);
+  if (n.right != kNoNode) render(n.right, depth + 1, out);
+}
+
+std::string ContractionTree::str() const {
+  std::string out;
+  render(root_, 0, out);
+  return out;
+}
+
+}  // namespace tce

@@ -1,0 +1,222 @@
+#include "tce/expr/formula.hpp"
+
+#include <map>
+#include <set>
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+Formula Formula::mult(TensorRef result, TensorRef x, TensorRef y) {
+  Formula f;
+  f.kind = Kind::kMult;
+  f.result = std::move(result);
+  f.lhs = std::move(x);
+  f.rhs = std::move(y);
+  return f;
+}
+
+Formula Formula::sum(TensorRef result, TensorRef x, IndexSet indices) {
+  Formula f;
+  f.kind = Kind::kSum;
+  f.result = std::move(result);
+  f.lhs = std::move(x);
+  f.sum_indices = indices;
+  return f;
+}
+
+Formula Formula::contract(TensorRef result, TensorRef x, TensorRef y,
+                          IndexSet indices) {
+  Formula f;
+  f.kind = Kind::kContract;
+  f.result = std::move(result);
+  f.lhs = std::move(x);
+  f.rhs = std::move(y);
+  f.sum_indices = indices;
+  return f;
+}
+
+std::string Formula::str(const IndexSpace& space) const {
+  std::string out = result.str(space) + " = ";
+  switch (kind) {
+    case Kind::kSum:
+      out += "sum" + sum_indices.str(space) + " " + lhs.str(space);
+      break;
+    case Kind::kMult:
+      out += lhs.str(space) + " * " + rhs->str(space);
+      break;
+    case Kind::kContract:
+      out += "sum" + sum_indices.str(space) + " " + lhs.str(space) + " * " +
+             rhs->str(space);
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+void check_no_repeated_index(const TensorRef& t, const IndexSpace& space) {
+  if (t.index_set().count() != t.dims.size()) {
+    throw Error("tensor " + t.str(space) + " repeats an index");
+  }
+}
+
+}  // namespace
+
+void FormulaSequence::validate(bool allow_forest) const {
+  if (formulas_.empty()) throw Error("empty formula sequence");
+
+  // Pass 1: which names are produced, and are result names unique?
+  std::set<std::string> all_results;
+  for (const auto& f : formulas_) {
+    if (!all_results.insert(f.result.name).second) {
+      throw Error("tensor '" + f.result.name + "' produced twice");
+    }
+  }
+
+  // Pass 2: per-formula well-formedness, def-before-use, shape consistency.
+  std::map<std::string, std::vector<IndexId>> shapes;  // name -> dims
+  std::set<std::string> defined;  // results of earlier formulas
+  std::map<std::string, int> consumed;
+
+  auto note_use = [&](const TensorRef& t) {
+    check_no_repeated_index(t, space_);
+    if (all_results.count(t.name) != 0 && defined.count(t.name) == 0) {
+      throw Error("tensor '" + t.name + "' used before definition");
+    }
+    auto [it, inserted] = shapes.emplace(t.name, t.dims);
+    if (!inserted && it->second != t.dims) {
+      throw Error("tensor '" + t.name +
+                  "' used with inconsistent index lists");
+    }
+    consumed[t.name] += 1;
+  };
+
+  for (const auto& f : formulas_) {
+    note_use(f.lhs);
+    if (f.kind == Formula::Kind::kMult ||
+        f.kind == Formula::Kind::kContract) {
+      if (!f.rhs) throw Error("binary formula missing rhs operand");
+      note_use(*f.rhs);
+      if (f.kind == Formula::Kind::kMult && !f.sum_indices.empty()) {
+        throw Error("multiplication formula cannot carry summation indices");
+      }
+      if (f.kind == Formula::Kind::kContract && f.sum_indices.empty()) {
+        throw Error("contraction formula with empty summation set: " +
+                    f.str(space_));
+      }
+      const IndexSet operand_union =
+          f.lhs.index_set() | f.rhs->index_set();
+      if (!f.sum_indices.subset_of(operand_union)) {
+        throw Error("summation over indices absent from operands: " +
+                    f.str(space_));
+      }
+      const IndexSet want = operand_union - f.sum_indices;
+      if (f.result.index_set() != want) {
+        throw Error("ill-formed formula: " + f.str(space_) +
+                    " — result indices must be " + want.str(space_));
+      }
+    } else {
+      if (f.rhs) throw Error("summation formula cannot have two operands");
+      if (f.sum_indices.empty()) {
+        throw Error("summation formula with empty index set: " +
+                    f.str(space_));
+      }
+      if (!f.sum_indices.subset_of(f.lhs.index_set())) {
+        throw Error("summation over indices absent from operand: " +
+                    f.str(space_));
+      }
+      const IndexSet want = f.lhs.index_set() - f.sum_indices;
+      if (f.result.index_set() != want) {
+        throw Error("ill-formed summation: " + f.str(space_) +
+                    " — result indices must be " + want.str(space_));
+      }
+    }
+
+    check_no_repeated_index(f.result, space_);
+    auto [it, inserted] = shapes.emplace(f.result.name, f.result.dims);
+    if (!inserted && it->second != f.result.dims) {
+      throw Error("tensor '" + f.result.name +
+                  "' used with inconsistent index lists");
+    }
+    defined.insert(f.result.name);
+  }
+
+  // Tree/forest property: every result is consumed at most once; roots
+  // (consumed zero times) form the outputs.
+  std::size_t roots = 0;
+  for (const auto& f : formulas_) {
+    const int uses = consumed.count(f.result.name)
+                         ? consumed.at(f.result.name)
+                         : 0;
+    if (uses == 0) {
+      ++roots;
+    } else if (uses != 1) {
+      throw Error("intermediate '" + f.result.name + "' consumed " +
+                  std::to_string(uses) +
+                  " times; expression must form a tree (exactly one use)");
+    }
+  }
+  TCE_ENSURES(roots >= 1);
+  if (!allow_forest) {
+    if (roots != 1) {
+      throw Error("program produces " + std::to_string(roots) +
+                  " unconsumed results; a single-tree sequence must have "
+                  "exactly one (use the forest APIs for multi-output "
+                  "programs)");
+    }
+    const auto rn = root_names();
+    if (rn.front() != formulas_.back().result.name) {
+      throw Error("final formula must produce the root result");
+    }
+  }
+}
+
+std::vector<std::string> FormulaSequence::root_names() const {
+  std::set<std::string> consumed;
+  for (const auto& f : formulas_) {
+    consumed.insert(f.lhs.name);
+    if (f.rhs) consumed.insert(f.rhs->name);
+  }
+  std::vector<std::string> roots;
+  for (const auto& f : formulas_) {
+    if (consumed.count(f.result.name) == 0) {
+      roots.push_back(f.result.name);
+    }
+  }
+  return roots;
+}
+
+std::vector<TensorRef> FormulaSequence::inputs() const {
+  std::set<std::string> produced;
+  for (const auto& f : formulas_) produced.insert(f.result.name);
+
+  std::vector<TensorRef> ins;
+  std::set<std::string> seen;
+  auto consider = [&](const TensorRef& t) {
+    if (produced.count(t.name) == 0 && seen.insert(t.name).second) {
+      ins.push_back(t);
+    }
+  };
+  for (const auto& f : formulas_) {
+    consider(f.lhs);
+    if (f.rhs) consider(*f.rhs);
+  }
+  return ins;
+}
+
+const TensorRef& FormulaSequence::output() const {
+  TCE_EXPECTS(!formulas_.empty());
+  return formulas_.back().result;
+}
+
+std::string FormulaSequence::str() const {
+  std::string out;
+  for (const auto& f : formulas_) {
+    out += f.str(space_);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tce

@@ -1,0 +1,48 @@
+#include "tce/expr/index.hpp"
+
+#include "tce/common/error.hpp"
+#include "tce/common/strings.hpp"
+
+namespace tce {
+
+IndexId IndexSpace::add(std::string name, std::uint64_t extent) {
+  TCE_EXPECTS_MSG(is_identifier(name), "index name must be an identifier");
+  TCE_EXPECTS(extent > 0);
+  if (contains(name)) {
+    throw Error("index '" + name + "' already declared");
+  }
+  if (names_.size() >= kMaxIndices) {
+    throw Error("too many index variables (max 64)");
+  }
+  names_.push_back(std::move(name));
+  extents_.push_back(extent);
+  return static_cast<IndexId>(names_.size() - 1);
+}
+
+bool IndexSpace::contains(std::string_view name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+IndexId IndexSpace::id(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<IndexId>(i);
+  }
+  throw Error("unknown index '" + std::string(name) + "'");
+}
+
+std::string IndexSet::str(const IndexSpace& space) const {
+  std::string out = "{";
+  bool first = true;
+  for (IndexId id : *this) {
+    if (!first) out += ",";
+    out += space.name(id);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tce

@@ -1,0 +1,15 @@
+#include "tce/expr/tensor_ref.hpp"
+
+namespace tce {
+
+std::string TensorRef::str(const IndexSpace& space) const {
+  std::string out = name + "[";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i != 0) out += ",";
+    out += space.name(dims[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tce

@@ -1,0 +1,52 @@
+#pragma once
+/// \file tensor_ref.hpp
+/// Symbolic tensor references: a name plus an ordered list of index
+/// variables, e.g. B[b,e,f,l].  The *order* matters for dense layout and
+/// code generation; the *set* view (IndexSet) drives all the search math.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tce/expr/index.hpp"
+
+namespace tce {
+
+/// A named tensor with ordered dimensions.
+struct TensorRef {
+  std::string name;
+  std::vector<IndexId> dims;
+
+  /// The unordered set of this tensor's indices.  Repeated indices within
+  /// one tensor (diagonals) are not supported and rejected at validation.
+  IndexSet index_set() const {
+    IndexSet s;
+    for (IndexId d : dims) s.insert(d);
+    return s;
+  }
+
+  /// Number of dimensions (0 for a scalar).
+  std::size_t rank() const noexcept { return dims.size(); }
+
+  /// Total element count Π N_i.
+  std::uint64_t num_elements(const IndexSpace& space) const {
+    std::uint64_t n = 1;
+    for (IndexId d : dims) n = checked_mul(n, space.extent(d));
+    return n;
+  }
+
+  /// Renders as "B[b,e,f,l]" (or "S[]" for a scalar).
+  std::string str(const IndexSpace& space) const;
+
+  friend bool operator==(const TensorRef& a, const TensorRef& b) {
+    return a.name == b.name && a.dims == b.dims;
+  }
+};
+
+/// Size in bytes of a double-precision tensor.
+inline std::uint64_t tensor_bytes(const TensorRef& t,
+                                  const IndexSpace& space) {
+  return checked_mul(t.num_elements(space), sizeof(double));
+}
+
+}  // namespace tce

@@ -1,0 +1,127 @@
+#include "tce/expr/tree.hpp"
+
+#include <map>
+#include <set>
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+NodeId ExprTree::add_node(ExprNode n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+ExprTree ExprTree::from_sequence(const FormulaSequence& seq) {
+  seq.validate();
+
+  ExprTree tree;
+  tree.space_ = seq.space();
+
+  // Maps a *result* tensor name to the node that produced it.  Input
+  // operands always get a fresh leaf, so a product that uses the same
+  // input twice (e.g. quadratic T·T terms in coupled cluster) still
+  // yields a tree rather than a DAG; the duplicate is modeled as a
+  // separate array.
+  std::set<std::string> result_names;
+  for (const auto& f : seq.formulas()) result_names.insert(f.result.name);
+  std::map<std::string, NodeId> by_name;
+
+  auto operand_node = [&](const TensorRef& t) -> NodeId {
+    if (result_names.count(t.name) != 0) {
+      return by_name.at(t.name);
+    }
+    ExprNode leaf;
+    leaf.kind = ExprNode::Kind::kLeaf;
+    leaf.tensor = t;
+    return tree.add_node(std::move(leaf));
+  };
+
+  for (const auto& f : seq.formulas()) {
+    ExprNode n;
+    n.tensor = f.result;
+    switch (f.kind) {
+      case Formula::Kind::kMult:
+        n.kind = ExprNode::Kind::kMult;
+        n.left = operand_node(f.lhs);
+        n.right = operand_node(*f.rhs);
+        break;
+      case Formula::Kind::kContract:
+        n.kind = ExprNode::Kind::kContract;
+        n.left = operand_node(f.lhs);
+        n.right = operand_node(*f.rhs);
+        n.sum_indices = f.sum_indices;
+        break;
+      case Formula::Kind::kSum:
+        n.kind = ExprNode::Kind::kSum;
+        n.left = operand_node(f.lhs);
+        n.sum_indices = f.sum_indices;
+        break;
+    }
+    NodeId id = tree.add_node(std::move(n));
+    tree.nodes_[static_cast<std::size_t>(tree.nodes_[id].left)].parent = id;
+    if (tree.nodes_[id].right != kNoNode) {
+      tree.nodes_[static_cast<std::size_t>(tree.nodes_[id].right)].parent =
+          id;
+    }
+    by_name[f.result.name] = id;
+    tree.root_ = id;
+  }
+
+  TCE_ENSURES(tree.root_ != kNoNode);
+  return tree;
+}
+
+std::vector<NodeId> ExprTree::post_order() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  // Iterative post-order over an immutable tree.
+  std::vector<std::pair<NodeId, bool>> stack;
+  stack.emplace_back(root_, false);
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (id == kNoNode) continue;
+    if (expanded) {
+      order.push_back(id);
+      continue;
+    }
+    stack.emplace_back(id, true);
+    const ExprNode& n = node(id);
+    stack.emplace_back(n.right, false);
+    stack.emplace_back(n.left, false);
+  }
+  TCE_ENSURES(order.size() == nodes_.size());
+  return order;
+}
+
+void ExprTree::render(NodeId id, int depth, std::string& out) const {
+  const ExprNode& n = node(id);
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (n.kind) {
+    case ExprNode::Kind::kLeaf:
+      out += "leaf " + n.tensor.str(space_);
+      break;
+    case ExprNode::Kind::kMult:
+      out += "mult " + n.tensor.str(space_);
+      break;
+    case ExprNode::Kind::kSum:
+      out += "sum" + n.sum_indices.str(space_) + " " + n.tensor.str(space_);
+      break;
+    case ExprNode::Kind::kContract:
+      out += "contract" + n.sum_indices.str(space_) + " " +
+             n.tensor.str(space_);
+      break;
+  }
+  out += '\n';
+  if (n.left != kNoNode) render(n.left, depth + 1, out);
+  if (n.right != kNoNode) render(n.right, depth + 1, out);
+}
+
+std::string ExprTree::str() const {
+  std::string out;
+  render(root_, 0, out);
+  return out;
+}
+
+}  // namespace tce

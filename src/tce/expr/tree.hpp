@@ -1,0 +1,63 @@
+#pragma once
+/// \file tree.hpp
+/// Binary expression trees — the paper's Fig. 1(b) representation.
+///
+/// Leaves are input arrays; internal nodes are multiplication (two
+/// children) or summation (one child) formulas, with the final formula at
+/// the root.  Nodes live in a pool inside ExprTree and are referred to by
+/// integer NodeId, which keeps the structure trivially copyable and lets
+/// search algorithms attach side tables indexed by node.
+
+#include <string>
+#include <vector>
+
+#include "tce/expr/formula.hpp"
+
+namespace tce {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+/// One node of an ExprTree.
+struct ExprNode {
+  enum class Kind { kLeaf, kMult, kSum, kContract };
+
+  Kind kind = Kind::kLeaf;
+  TensorRef tensor;      ///< Array produced at (or stored in) this node.
+  IndexSet sum_indices;  ///< Non-empty only for kSum / kContract.
+  NodeId left = kNoNode;
+  NodeId right = kNoNode;  ///< kNoNode except for kMult / kContract.
+  NodeId parent = kNoNode;
+};
+
+/// An expression tree over an IndexSpace, built from a validated
+/// FormulaSequence.
+class ExprTree {
+ public:
+  /// Builds the tree for \p seq; calls seq.validate() first.
+  static ExprTree from_sequence(const FormulaSequence& seq);
+
+  const IndexSpace& space() const noexcept { return space_; }
+  NodeId root() const noexcept { return root_; }
+  const ExprNode& node(NodeId id) const {
+    TCE_EXPECTS(id >= 0 && id < static_cast<NodeId>(nodes_.size()));
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Node ids in post order (children before parents); the root is last.
+  std::vector<NodeId> post_order() const;
+
+  /// ASCII rendering of the tree, one node per line with indentation.
+  std::string str() const;
+
+ private:
+  IndexSpace space_;
+  std::vector<ExprNode> nodes_;
+  NodeId root_ = kNoNode;
+
+  NodeId add_node(ExprNode n);
+  void render(NodeId id, int depth, std::string& out) const;
+};
+
+}  // namespace tce

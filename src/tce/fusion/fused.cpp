@@ -1,0 +1,32 @@
+#include "tce/fusion/fused.hpp"
+
+namespace tce {
+
+TensorRef fused_ref(const TensorRef& ref, IndexSet fused) {
+  TensorRef out;
+  out.name = ref.name;
+  for (IndexId d : ref.dims) {
+    if (!fused.contains(d)) out.dims.push_back(d);
+  }
+  return out;
+}
+
+std::uint64_t fused_bytes(const TensorRef& ref, IndexSet fused,
+                          const IndexSpace& space) {
+  return tensor_bytes(fused_ref(ref, fused), space);
+}
+
+IndexSet fusable_indices(const ContractionTree& tree, NodeId v) {
+  const ContractionNode& n = tree.node(v);
+  if (n.parent == kNoNode) return IndexSet();
+  if (n.kind == ContractionNode::Kind::kInput) return IndexSet();
+  return n.dimens() & tree.node(n.parent).loop_indices();
+}
+
+bool fusion_nesting_ok(IndexSet parent_fusion, IndexSet child_fusion,
+                       IndexSet child_loop_indices) {
+  if (child_fusion.empty()) return true;  // materialized + hoisted
+  return (parent_fusion & child_loop_indices).subset_of(child_fusion);
+}
+
+}  // namespace tce

@@ -1,0 +1,47 @@
+#pragma once
+/// \file fused.hpp
+/// Loop-fusion helpers: reduced array shapes and fusion legality.
+///
+/// Fusing a loop with index t between a node and its parent eliminates
+/// the t-dimension of the node's array (§2).  A fused set f between node
+/// v and its parent is legal when
+///   * f ⊆ v.dimens (only array dimensions can be fused away), and
+///   * every index of f appears in the parent's loop nest (automatic for
+///     contraction operands: the parent's loops are the union of its
+///     children's indices), and
+///   * the per-processor range of each fused loop agrees at both nodes
+///     (§3.2(iii)); in this library's search space fused indices are
+///     never grid-distributed (distributions name only the Cannon triplet
+///     indices), so the ranges are always the full extents and agree.
+
+#include "tce/expr/contraction.hpp"
+
+namespace tce {
+
+/// The reduced ("fused") array: \p ref with the dims in \p fused removed.
+/// The name is preserved; Table 1/2's "Reduced array" column.
+TensorRef fused_ref(const TensorRef& ref, IndexSet fused);
+
+/// Bytes of the reduced array, undistributed (sequential setting).
+std::uint64_t fused_bytes(const TensorRef& ref, IndexSet fused,
+                          const IndexSpace& space);
+
+/// Indices fusable between node \p v and its parent in \p tree: the
+/// node's array dimensions that also appear in the parent's loop nest.
+/// Returns the empty set for the root and for input leaves (an input
+/// array is stored in full regardless of fusion, so fusing it away is
+/// meaningless).
+IndexSet fusable_indices(const ContractionTree& tree, NodeId v);
+
+/// The no-recomputation nesting rule between a node's fusion with its
+/// parent (\p parent_fusion, at the consumer) and a fused child's fusion
+/// (\p child_fusion): every parent-fused loop that also spans the child's
+/// loop nest must be fused through the child as well — otherwise the
+/// child's slices would have to be recomputed per iteration, and this
+/// library (like the paper) never trades memory for recomputation.
+/// Children with an empty fusion are fully materialized and hoisted, so
+/// the rule is vacuous for them.
+bool fusion_nesting_ok(IndexSet parent_fusion, IndexSet child_fusion,
+                       IndexSet child_loop_indices);
+
+}  // namespace tce

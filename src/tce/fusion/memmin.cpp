@@ -1,0 +1,75 @@
+#include "tce/fusion/memmin.hpp"
+
+#include <limits>
+
+namespace tce {
+
+namespace {
+
+struct Entry {
+  std::uint64_t bytes = std::numeric_limits<std::uint64_t>::max();
+  // Chosen fusions for each child edge below this node, given this
+  // node's own fusion-with-parent.
+  std::map<NodeId, IndexSet> sub_fusions;
+};
+
+class Solver {
+ public:
+  explicit Solver(const ContractionTree& tree) : tree_(tree) {}
+
+  /// Minimum subtree bytes when node \p v is fused with its parent by
+  /// \p f (f must already be legal for v).
+  const Entry& solve(NodeId v, IndexSet f) {
+    auto key = std::make_pair(v, f);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const ContractionNode& n = tree_.node(v);
+    Entry e;
+    e.bytes = fused_bytes(n.tensor, f, tree_.space());
+    e.sub_fusions[v] = f;
+
+    for (NodeId c : {n.left, n.right}) {
+      if (c == kNoNode) continue;
+      const ContractionNode& cn = tree_.node(c);
+      if (cn.kind == ContractionNode::Kind::kInput) {
+        e.bytes = checked_add(e.bytes,
+                              tensor_bytes(cn.tensor, tree_.space()));
+        continue;
+      }
+      // Pick the child fusion minimizing its subtree, respecting the
+      // nesting rule against this node's fusion f.
+      const Entry* best = nullptr;
+      for_each_subset(fusable_indices(tree_, c), [&](IndexSet fc) {
+        if (!fusion_nesting_ok(f, fc, cn.loop_indices())) return;
+        const Entry& sub = solve(c, fc);
+        if (best == nullptr || sub.bytes < best->bytes) best = &sub;
+      });
+      TCE_ENSURES(best != nullptr);  // fc = empty set is always legal
+      e.bytes = checked_add(e.bytes, best->bytes);
+      for (const auto& [node, fu] : best->sub_fusions) {
+        e.sub_fusions[node] = fu;
+      }
+    }
+
+    return memo_.emplace(key, std::move(e)).first->second;
+  }
+
+ private:
+  const ContractionTree& tree_;
+  std::map<std::pair<NodeId, IndexSet>, Entry> memo_;
+};
+
+}  // namespace
+
+MemMinResult minimize_memory(const ContractionTree& tree) {
+  Solver solver(tree);
+  const Entry& root = solver.solve(tree.root(), IndexSet());
+
+  MemMinResult out;
+  out.total_bytes = root.bytes;
+  out.fusions = root.sub_fusions;
+  return out;
+}
+
+}  // namespace tce

@@ -1,0 +1,31 @@
+#pragma once
+/// \file memmin.hpp
+/// Sequential memory-minimization by loop fusion — the prior-work
+/// baseline ([14], [15] in the paper).
+///
+/// Given an expression tree, choose a fused index set for every
+/// intermediate array (the edge to its consumer) minimizing the summed
+/// storage of all arrays (inputs are stored in full regardless), subject
+/// to the no-recomputation nesting rule.  Used by the benchmark
+/// comparisons as the "fuse first, then distribute" strategy the paper
+/// argues against: its fusion choices ignore communication entirely.
+
+#include <map>
+
+#include "tce/fusion/fused.hpp"
+
+namespace tce {
+
+/// Result of the memory-minimization search.
+struct MemMinResult {
+  /// Total bytes of all arrays (undistributed, sequential model).
+  std::uint64_t total_bytes = 0;
+  /// Chosen fusion per node (empty set when a node keeps all dims).
+  std::map<NodeId, IndexSet> fusions;
+};
+
+/// Exhaustive DP over per-edge fusion subsets.  Optimal under the summed
+/// storage model.
+MemMinResult minimize_memory(const ContractionTree& tree);
+
+}  // namespace tce

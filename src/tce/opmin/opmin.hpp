@@ -1,0 +1,65 @@
+#pragma once
+/// \file opmin.hpp
+/// Operation minimization: choosing the cheapest binary contraction order
+/// for a multi-term tensor product.
+///
+/// §2's motivating example: S_abij = Σ_cdefkl A·B·C·D costs 4N¹⁰ when
+/// evaluated as one ten-deep loop nest, but only 6N⁶ when factored into
+/// three two-tensor contractions with intermediates T1 and T2.  The
+/// underlying problem (the paper's reference [13]) is NP-complete in
+/// general; for the factor counts that arise in practice an exact
+/// dynamic program over factor subsets is fast: each subset's optimal
+/// cost is the best way to split it into two contracted halves, where an
+/// index can be summed away as soon as no factor outside the subset and
+/// no result dimension still needs it.
+
+#include "tce/expr/formula.hpp"
+#include "tce/expr/parser.hpp"
+
+namespace tce {
+
+/// A multi-term product to binarize.
+struct OpMinInput {
+  TensorRef result;
+  IndexSet sum_indices;
+  std::vector<TensorRef> factors;
+
+  /// Adapts a parsed multi-factor statement.
+  static OpMinInput from_statement(const ParsedStatement& stmt) {
+    return {stmt.result, stmt.sum_indices, stmt.factors};
+  }
+};
+
+/// Outcome of the search.
+struct OpMinResult {
+  /// Operation count of the optimal binary order.
+  std::uint64_t flops = 0;
+  /// Operation count of direct evaluation (one loop nest over all
+  /// indices; (#factors−1) multiplies + 1 add per point — §2's 4N¹⁰).
+  std::uint64_t naive_flops = 0;
+  /// Largest intermediate array (elements) in the optimal order.
+  std::uint64_t largest_intermediate = 0;
+  /// The optimal order as a validated formula sequence (kContract /
+  /// kMult / kSum formulas producing temporaries, final formula producing
+  /// the requested result).
+  FormulaSequence sequence;
+};
+
+/// Runs the exact subset DP.  \p temp_prefix names generated
+/// intermediates (prefix1, prefix2, ...), avoiding collisions with
+/// factor names.  Throws tce::Error on ill-formed input (summation
+/// indices absent from factors, result indices not covered, more than 20
+/// factors).
+OpMinResult minimize_operations(const OpMinInput& input,
+                                const IndexSpace& space,
+                                const std::string& temp_prefix = "tmp");
+
+/// Convenience: parse a whole program and binarize every multi-factor
+/// statement (single- and two-factor statements pass through), returning
+/// one validated FormulaSequence.  With \p allow_forest the program may
+/// have several outputs.
+FormulaSequence binarize_program(const ParsedProgram& program,
+                                 const std::string& temp_prefix = "tmp",
+                                 bool allow_forest = false);
+
+}  // namespace tce

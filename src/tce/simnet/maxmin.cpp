@@ -1,0 +1,79 @@
+#include "tce/simnet/maxmin.hpp"
+
+#include <limits>
+
+#include "tce/common/assert.hpp"
+
+namespace tce {
+
+std::vector<double> maxmin_fair_rates(
+    const std::vector<ResourcePath>& paths,
+    const std::vector<double>& capacities, double unbounded_rate) {
+  const std::size_t nf = paths.size();
+  const std::size_t nr = capacities.size();
+  for (double c : capacities) TCE_EXPECTS(c > 0);
+  for (const auto& p : paths) {
+    for (std::uint32_t r : p) TCE_EXPECTS(r < nr);
+  }
+
+  std::vector<double> rate(nf, 0.0);
+  std::vector<bool> frozen(nf, false);
+  std::vector<double> remaining(capacities);
+  // Number of unfrozen flows on each resource.
+  std::vector<std::uint32_t> load(nr, 0);
+  for (const auto& p : paths) {
+    for (std::uint32_t r : p) ++load[r];
+  }
+
+  std::size_t active = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (paths[f].empty()) {
+      rate[f] = unbounded_rate;
+      frozen[f] = true;
+    } else {
+      ++active;
+    }
+  }
+
+  double level = 0.0;  // current uniform rate of all unfrozen flows
+  while (active > 0) {
+    // The next saturation point: the resource minimizing
+    // level + remaining / load over resources with unfrozen flows.
+    double next_level = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (load[r] == 0) continue;
+      next_level = std::min(next_level, level + remaining[r] / load[r]);
+    }
+    TCE_ENSURES(next_level < std::numeric_limits<double>::infinity());
+
+    const double delta = next_level - level;
+    // Charge the uniform increase to every resource.
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (load[r] != 0) remaining[r] -= delta * load[r];
+    }
+    level = next_level;
+
+    // Freeze flows crossing any saturated resource.  A small epsilon
+    // absorbs floating-point residue.
+    const double eps = 1e-9 * level + 1e-18;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool saturated = false;
+      for (std::uint32_t r : paths[f]) {
+        if (remaining[r] <= eps * load[r] + 1e-30) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) {
+        frozen[f] = true;
+        rate[f] = level;
+        --active;
+        for (std::uint32_t r : paths[f]) --load[r];
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace tce

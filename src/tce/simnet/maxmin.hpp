@@ -1,0 +1,33 @@
+#pragma once
+/// \file maxmin.hpp
+/// Max–min fair rate allocation by progressive filling.
+///
+/// Given a set of flows, each traversing a subset of capacitated
+/// resources, the max–min fair allocation raises all unfrozen flows'
+/// rates uniformly until some resource saturates, freezes the flows
+/// crossing it, and repeats.  This is the standard fluid model for
+/// TCP-like fair sharing and is what the flow-level network simulator
+/// uses to compute instantaneous transfer rates.
+
+#include <cstdint>
+#include <vector>
+
+namespace tce {
+
+/// One flow's resource usage: the ids of every resource it crosses.
+using ResourcePath = std::vector<std::uint32_t>;
+
+/// Computes max–min fair rates.
+///
+/// \param paths       per-flow resource id lists (ids < capacities.size());
+///                    a flow with an empty path gets an infinite rate and
+///                    is reported as `unbounded`.
+/// \param capacities  per-resource capacity (must be > 0).
+/// \returns per-flow rates; rates for unbounded flows are set to
+///          `unbounded_rate`.
+std::vector<double> maxmin_fair_rates(
+    const std::vector<ResourcePath>& paths,
+    const std::vector<double>& capacities,
+    double unbounded_rate = 1e30);
+
+}  // namespace tce

@@ -1,0 +1,116 @@
+#include "tce/simnet/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tce/simnet/maxmin.hpp"
+
+namespace tce {
+
+Network::Network(ClusterSpec spec) : spec_(spec) { spec_.validate(); }
+
+Network::RunResult Network::run_flows(const std::vector<Flow>& flows) const {
+  const std::uint32_t procs = spec_.procs();
+  RunResult result;
+  result.finish_s.assign(flows.size(), 0.0);
+
+  // Resource layout: [0, nodes) node NIC out, [nodes, 2*nodes) node NIC in,
+  // [2*nodes, 3*nodes) node memory engines, then (optionally) bisection.
+  const std::uint32_t n = spec_.nodes;
+  std::vector<double> capacities(3 * n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    capacities[i] = spec_.nic_bw;
+    capacities[n + i] = spec_.nic_bw;
+    capacities[2 * n + i] = spec_.mem_bw;
+  }
+  std::uint32_t bisection_id = 0;
+  if (spec_.bisection_bw > 0) {
+    bisection_id = static_cast<std::uint32_t>(capacities.size());
+    capacities.push_back(spec_.bisection_bw);
+  }
+
+  // Active flow bookkeeping.  Zero-byte and self-referential flows finish
+  // at latency; others enter the fluid simulation.
+  struct Active {
+    std::size_t id;  // index into `flows`
+    double remaining;
+    ResourcePath path;
+  };
+  std::vector<Active> active;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    TCE_EXPECTS(flows[f].src < procs && flows[f].dst < procs);
+    if (flows[f].bytes == 0) {
+      result.finish_s[f] = spec_.latency_s;
+      continue;
+    }
+    Active a;
+    a.id = f;
+    a.remaining = static_cast<double>(flows[f].bytes);
+    const std::uint32_t sn = spec_.node_of(flows[f].src);
+    const std::uint32_t dn = spec_.node_of(flows[f].dst);
+    if (sn == dn) {
+      a.path = {2 * n + sn};
+    } else {
+      a.path = {sn, n + dn};
+      if (spec_.bisection_bw > 0) a.path.push_back(bisection_id);
+    }
+    active.push_back(std::move(a));
+  }
+
+  double now = 0.0;
+  while (!active.empty()) {
+    std::vector<ResourcePath> paths;
+    paths.reserve(active.size());
+    for (const auto& a : active) paths.push_back(a.path);
+    const std::vector<double> rates = maxmin_fair_rates(paths, capacities);
+
+    // Time until the earliest active flow drains.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      dt = std::min(dt, active[i].remaining / rates[i]);
+    }
+    TCE_ENSURES(dt > 0 && dt < std::numeric_limits<double>::infinity());
+    now += dt;
+
+    std::vector<Active> still;
+    still.reserve(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const double left = active[i].remaining - rates[i] * dt;
+      if (left <= 1e-6) {  // bytes; sub-byte residue counts as done
+        result.finish_s[active[i].id] = spec_.latency_s + now;
+      } else {
+        active[i].remaining = left;
+        still.push_back(std::move(active[i]));
+      }
+    }
+    active = std::move(still);
+  }
+
+  for (double f : result.finish_s) {
+    result.makespan_s = std::max(result.makespan_s, f);
+  }
+  return result;
+}
+
+PhaseResult Network::run_phase(const Phase& phase) const {
+  PhaseResult r;
+  r.comm_s = run_flows(phase.flows).makespan_s;
+  for (const auto& c : phase.compute) {
+    TCE_EXPECTS(c.rank < spec_.procs());
+    r.compute_s = std::max(
+        r.compute_s, static_cast<double>(c.flops) / spec_.flops_per_proc);
+  }
+  return r;
+}
+
+PhaseResult Network::run_phases(const std::vector<Phase>& phases) const {
+  PhaseResult total;
+  for (const auto& p : phases) {
+    const PhaseResult r = run_phase(p);
+    total.comm_s += r.comm_s;
+    total.compute_s += r.compute_s;
+  }
+  return total;
+}
+
+}  // namespace tce

@@ -1,0 +1,175 @@
+#include "tce/tensor/einsum.hpp"
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+namespace {
+
+/// Per-operand gather plan: for each loop variable, the operand stride it
+/// moves by (0 when the operand lacks the dimension).
+std::vector<std::uint64_t> loop_strides(
+    const DenseTensor& t, const std::vector<IndexId>& loop_dims) {
+  std::vector<std::uint64_t> s(loop_dims.size(), 0);
+  for (std::size_t i = 0; i < loop_dims.size(); ++i) {
+    if (t.has_dim(loop_dims[i])) {
+      s[i] = t.stride(t.pos_of(loop_dims[i]));
+    }
+  }
+  return s;
+}
+
+std::uint64_t offset_for(std::span<const std::uint64_t> idx,
+                         std::span<const std::uint64_t> strides) {
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i) off += idx[i] * strides[i];
+  return off;
+}
+
+/// Extent of loop label \p id, cross-checked across operands.
+std::uint64_t loop_extent(IndexId id, const DenseTensor* a,
+                          const DenseTensor* b) {
+  std::uint64_t e = 0;
+  for (const DenseTensor* t : {a, b}) {
+    if (t != nullptr && t->has_dim(id)) {
+      const std::uint64_t te = t->extent_of(id);
+      if (e != 0 && te != e) {
+        throw Error("einsum: operands disagree on an extent");
+      }
+      e = te;
+    }
+  }
+  if (e == 0) throw Error("einsum: loop label missing from all operands");
+  return e;
+}
+
+}  // namespace
+
+DenseTensor einsum_pair(const DenseTensor& a, const DenseTensor& b,
+                        const std::vector<IndexId>& result_dims,
+                        IndexSet sum_indices) {
+  // Loop order: result dims first, then summation dims.
+  std::vector<IndexId> loops = result_dims;
+  for (IndexId s : sum_indices) {
+    for (IndexId r : result_dims) {
+      if (r == s) throw Error("einsum: summed label appears in result");
+    }
+    loops.push_back(s);
+  }
+
+  std::vector<std::uint64_t> extents;
+  extents.reserve(loops.size());
+  for (IndexId id : loops) extents.push_back(loop_extent(id, &a, &b));
+
+  DenseTensor c(result_dims,
+                {extents.begin(),
+                 extents.begin() + static_cast<std::ptrdiff_t>(
+                                       result_dims.size())});
+
+  const auto sa = loop_strides(a, loops);
+  const auto sb = loop_strides(b, loops);
+  const auto sc = loop_strides(c, loops);
+
+  MultiIndex mi(extents);
+  std::span<const double> da = a.data();
+  std::span<const double> db = b.data();
+  std::span<double> dc = c.data();
+  do {
+    const auto idx = mi.values();
+    dc[offset_for(idx, sc)] +=
+        da[offset_for(idx, sa)] * db[offset_for(idx, sb)];
+  } while (mi.advance());
+  return c;
+}
+
+DenseTensor einsum_reduce(const DenseTensor& a,
+                          const std::vector<IndexId>& result_dims) {
+  std::vector<IndexId> loops = result_dims;
+  for (IndexId d : a.dims()) {
+    bool kept = false;
+    for (IndexId r : result_dims) kept = kept || (r == d);
+    if (!kept) loops.push_back(d);
+  }
+
+  std::vector<std::uint64_t> extents;
+  for (IndexId id : loops) extents.push_back(loop_extent(id, &a, nullptr));
+
+  DenseTensor c(result_dims,
+                {extents.begin(),
+                 extents.begin() + static_cast<std::ptrdiff_t>(
+                                       result_dims.size())});
+  const auto sa = loop_strides(a, loops);
+  const auto sc = loop_strides(c, loops);
+
+  MultiIndex mi(extents);
+  std::span<const double> da = a.data();
+  std::span<double> dc = c.data();
+  do {
+    const auto idx = mi.values();
+    dc[offset_for(idx, sc)] += da[offset_for(idx, sa)];
+  } while (mi.advance());
+  return c;
+}
+
+DenseTensor make_tensor(const TensorRef& ref, const IndexSpace& space) {
+  std::vector<std::uint64_t> extents;
+  extents.reserve(ref.dims.size());
+  for (IndexId d : ref.dims) extents.push_back(space.extent(d));
+  return DenseTensor(ref.dims, std::move(extents));
+}
+
+std::map<std::string, DenseTensor> make_random_inputs(
+    const ContractionTree& tree, Rng& rng) {
+  std::map<std::string, DenseTensor> inputs;
+  for (NodeId id : tree.leaves()) {
+    const TensorRef& ref = tree.node(id).tensor;
+    DenseTensor t = make_tensor(ref, tree.space());
+    t.fill_random(rng);
+    inputs.emplace(ref.name, std::move(t));
+  }
+  return inputs;
+}
+
+DenseTensor evaluate_tree(const ContractionTree& tree,
+                          const std::map<std::string, DenseTensor>& inputs) {
+  std::map<NodeId, DenseTensor> values;
+  for (NodeId id : tree.post_order()) {
+    const ContractionNode& n = tree.node(id);
+    switch (n.kind) {
+      case ContractionNode::Kind::kInput: {
+        auto it = inputs.find(n.tensor.name);
+        if (it == inputs.end()) {
+          throw Error("evaluate_tree: missing input '" + n.tensor.name +
+                      "'");
+        }
+        const DenseTensor& given = it->second;
+        if (given.dims() != n.tensor.dims) {
+          throw Error("evaluate_tree: input '" + n.tensor.name +
+                      "' has mismatched dimension labels");
+        }
+        for (std::size_t i = 0; i < given.rank(); ++i) {
+          if (given.extents()[i] != tree.space().extent(given.dims()[i])) {
+            throw Error("evaluate_tree: input '" + n.tensor.name +
+                        "' has mismatched extents");
+          }
+        }
+        values.emplace(id, given);
+        break;
+      }
+      case ContractionNode::Kind::kContraction:
+        values.emplace(id, einsum_pair(values.at(n.left),
+                                       values.at(n.right), n.tensor.dims,
+                                       n.sum_indices));
+        break;
+      case ContractionNode::Kind::kReduce:
+        values.emplace(id, einsum_reduce(values.at(n.left), n.tensor.dims));
+        break;
+    }
+    // Free children eagerly; each is consumed exactly once (tree).
+    if (n.left != kNoNode) values.erase(n.left);
+    if (n.right != kNoNode) values.erase(n.right);
+  }
+  return std::move(values.at(tree.root()));
+}
+
+}  // namespace tce

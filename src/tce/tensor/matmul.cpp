@@ -1,0 +1,151 @@
+#include "tce/tensor/matmul.hpp"
+
+#include <algorithm>
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+void matmul_acc(std::span<const double> a, std::span<const double> b,
+                std::span<double> c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  TCE_EXPECTS(a.size() == m * k);
+  TCE_EXPECTS(b.size() == k * n);
+  TCE_EXPECTS(c.size() == m * n);
+
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::size_t k1 = std::min(k0 + kBlock, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+        const std::size_t j1 = std::min(j0 + kBlock, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const double av = a[i * k + kk];
+            const double* brow = &b[kk * n];
+            double* crow = &c[i * n];
+            for (std::size_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Strides of \p t for the loop order row_dims ++ col_dims, plus the
+/// extent product of each group.
+struct PackPlan {
+  std::vector<std::uint64_t> extents;  // loop extents, rows then cols
+  std::vector<std::uint64_t> strides;  // matching tensor strides
+  std::uint64_t rows = 1;
+  std::uint64_t cols = 1;
+};
+
+PackPlan make_plan(const DenseTensor& t, const std::vector<IndexId>& rows,
+                   const std::vector<IndexId>& cols) {
+  if (rows.size() + cols.size() != t.rank()) {
+    throw Error("pack_matrix: dimension groups must cover the tensor");
+  }
+  PackPlan p;
+  for (IndexId id : rows) {
+    p.extents.push_back(t.extent_of(id));
+    p.strides.push_back(t.stride(t.pos_of(id)));
+    p.rows = checked_mul(p.rows, p.extents.back());
+  }
+  for (IndexId id : cols) {
+    p.extents.push_back(t.extent_of(id));
+    p.strides.push_back(t.stride(t.pos_of(id)));
+    p.cols = checked_mul(p.cols, p.extents.back());
+  }
+  return p;
+}
+
+}  // namespace
+
+void pack_matrix(const DenseTensor& t, const std::vector<IndexId>& row_dims,
+                 const std::vector<IndexId>& col_dims,
+                 std::vector<double>& out, std::uint64_t& rows,
+                 std::uint64_t& cols) {
+  const PackPlan p = make_plan(t, row_dims, col_dims);
+  rows = p.rows;
+  cols = p.cols;
+  out.resize(p.rows * p.cols);
+
+  std::span<const double> src = t.data();
+  MultiIndex mi(p.extents);
+  std::uint64_t flat = 0;
+  do {
+    std::uint64_t off = 0;
+    const auto idx = mi.values();
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      off += idx[i] * p.strides[i];
+    }
+    out[flat++] = src[off];
+  } while (mi.advance());
+}
+
+void unpack_matrix_acc(std::span<const double> m,
+                       const std::vector<IndexId>& row_dims,
+                       const std::vector<IndexId>& col_dims,
+                       DenseTensor& t) {
+  const PackPlan p = make_plan(t, row_dims, col_dims);
+  TCE_EXPECTS(m.size() == p.rows * p.cols);
+
+  std::span<double> dst = t.data();
+  MultiIndex mi(p.extents);
+  std::uint64_t flat = 0;
+  do {
+    std::uint64_t off = 0;
+    const auto idx = mi.values();
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      off += idx[i] * p.strides[i];
+    }
+    dst[off] += m[flat++];
+  } while (mi.advance());
+}
+
+void contract_blocks_acc(const DenseTensor& a, const DenseTensor& b,
+                         IndexSet sum_indices, DenseTensor& c) {
+  // Split labels: I = a-only, J = b-only, K = summed (must be in both).
+  std::vector<IndexId> idims, jdims, kdims;
+  for (IndexId d : a.dims()) {
+    if (sum_indices.contains(d)) {
+      if (!b.has_dim(d)) {
+        throw Error("contract_blocks: summed label missing from b");
+      }
+      kdims.push_back(d);
+    } else {
+      idims.push_back(d);
+      if (b.has_dim(d)) {
+        throw Error(
+            "contract_blocks: batch labels are not supported by the "
+            "matmul fast path");
+      }
+    }
+  }
+  for (IndexId d : b.dims()) {
+    if (!sum_indices.contains(d)) jdims.push_back(d);
+  }
+  for (IndexId d : kdims) {
+    if (a.extent_of(d) != b.extent_of(d)) {
+      throw Error("contract_blocks: operands disagree on a summed extent");
+    }
+  }
+
+  std::vector<double> am, bm;
+  std::uint64_t m = 0, k = 0, k2 = 0, n = 0;
+  pack_matrix(a, idims, kdims, am, m, k);
+  pack_matrix(b, kdims, jdims, bm, k2, n);
+  TCE_ENSURES(k == k2);
+
+  std::vector<double> cm(m * n, 0.0);
+  matmul_acc(am, bm, cm, m, k, n);
+  unpack_matrix_acc(cm, idims, jdims, c);
+}
+
+}  // namespace tce

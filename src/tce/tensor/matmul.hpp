@@ -1,0 +1,44 @@
+#pragma once
+/// \file matmul.hpp
+/// The fast path for local block contractions.
+///
+/// A true contraction C(I,J) += A(I,K)·B(K,J) maps to a matrix product
+/// after packing the I dimensions into rows and the K (resp. J)
+/// dimensions into columns.  pack_matrix performs the permutation;
+/// matmul_acc is a cache-blocked kernel; contract_blocks composes them
+/// and accumulates into a labeled result tensor.  This is what each
+/// simulated rank executes during a Cannon step.
+
+#include "tce/tensor/dense.hpp"
+
+namespace tce {
+
+/// C (m×n, row-major) += A (m×k, row-major) · B (k×n, row-major).
+/// Cache-blocked i-k-j loop order.
+void matmul_acc(std::span<const double> a, std::span<const double> b,
+                std::span<double> c, std::size_t m, std::size_t k,
+                std::size_t n);
+
+/// Packs tensor \p t into a row-major (row_dims × col_dims) matrix.  The
+/// two groups together must cover every dimension of \p t exactly once.
+/// Returns the matrix in \p out (resized); row and column element counts
+/// via the out-parameters.
+void pack_matrix(const DenseTensor& t, const std::vector<IndexId>& row_dims,
+                 const std::vector<IndexId>& col_dims,
+                 std::vector<double>& out, std::uint64_t& rows,
+                 std::uint64_t& cols);
+
+/// Scatters a packed (row_dims × col_dims) matrix back into tensor \p t,
+/// accumulating (+=).
+void unpack_matrix_acc(std::span<const double> m,
+                       const std::vector<IndexId>& row_dims,
+                       const std::vector<IndexId>& col_dims,
+                       DenseTensor& t);
+
+/// c += contraction of blocks a (I∪K dims) and b (K∪J dims) over the
+/// labels in \p sum_indices, via pack + matmul + unpack.  The result
+/// tensor \p c must carry exactly the non-summed labels of a and b.
+void contract_blocks_acc(const DenseTensor& a, const DenseTensor& b,
+                         IndexSet sum_indices, DenseTensor& c);
+
+}  // namespace tce

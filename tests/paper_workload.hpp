@@ -1,0 +1,28 @@
+#pragma once
+// Shared test fixture data: the paper's §4 workload (NWChem-derived
+// 3-contraction chain) and its memory-limit setting, used across the
+// suite.  Kept in one place so every test exercises the identical
+// program text.
+
+#include "tce/expr/contraction.hpp"
+#include "tce/expr/parser.hpp"
+
+namespace tce::testing {
+
+inline constexpr const char* kPaperProgram = R"(
+  index a, b, c, d = 480
+  index e, f = 64
+  index i, j, k, l = 32
+  T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+  T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+  S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+)";
+
+inline constexpr std::uint64_t kNodeLimit4GB = 4ull * 1000 * 1000 * 1000;
+
+inline ContractionTree paper_tree() {
+  return ContractionTree::from_sequence(
+      parse_formula_sequence(kPaperProgram));
+}
+
+}  // namespace tce::testing

@@ -1,0 +1,190 @@
+// Tests for tce/cli: argument handling, size parsing, and the three
+// subcommands end to end (against temp files).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tce/cli/cli.hpp"
+#include "tce/common/error.hpp"
+
+namespace tce {
+namespace {
+
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& contents)
+      : path_(std::string(::testing::TempDir()) + name) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr const char* kSmallProgram = R"(
+  index a, b, c = 64
+  C[a,c] = sum[b] X[a,b] * Y[b,c]
+)";
+
+// ----------------------------------------------------------- byte sizes
+
+TEST(ParseByteSize, AcceptsSuffixes) {
+  EXPECT_EQ(parse_byte_size("1000"), 1000u);
+  EXPECT_EQ(parse_byte_size("4GB"), 4'000'000'000u);
+  EXPECT_EQ(parse_byte_size("1.5MB"), 1'500'000u);
+  EXPECT_EQ(parse_byte_size("27MB"), 27'000'000u);
+  EXPECT_EQ(parse_byte_size("2 KB"), 2'000u);
+  EXPECT_EQ(parse_byte_size("10B"), 10u);
+}
+
+TEST(ParseByteSize, RejectsGarbage) {
+  EXPECT_THROW(parse_byte_size("GB"), Error);
+  EXPECT_THROW(parse_byte_size("12XB"), Error);
+}
+
+// ------------------------------------------------------------------- CLI
+
+TEST(Cli, HelpPrintsUsage) {
+  for (auto args : {std::vector<std::string>{},
+                    std::vector<std::string>{"help"},
+                    std::vector<std::string>{"--help"}}) {
+    CliResult r = run_cli(args);
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  }
+}
+
+TEST(Cli, UnknownCommandFails) {
+  CliResult r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, PlanSmallProgram) {
+  TempFile f("cli_small.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("C[a,c]"), std::string::npos);
+  EXPECT_NE(r.output.find("total communication"), std::string::npos);
+}
+
+TEST(Cli, PlanWithPseudocodeAndLimit) {
+  TempFile f("cli_small2.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--mem-limit",
+                         "4GB", "--pseudocode"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("cannon"), std::string::npos);
+}
+
+TEST(Cli, PlanInfeasibleReturnsCode2) {
+  TempFile f("cli_small3.tce", kSmallProgram);
+  CliResult r = run_cli(
+      {"plan", f.path(), "--procs", "4", "--mem-limit", "1KB"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.error.find("infeasible"), std::string::npos);
+}
+
+TEST(Cli, PlanRejectsUnknownFlag) {
+  TempFile f("cli_small4.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--bogus"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("unexpected argument"), std::string::npos);
+}
+
+TEST(Cli, PlanMissingFile) {
+  CliResult r = run_cli({"plan", "/nonexistent/x.tce"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, OpminBinarizes) {
+  TempFile f("cli_opmin.tce", R"(
+    index a, b, c, d = 8
+    S[a,d] = sum[b,c] X[a,b] * Y[b,c] * Z[c,d]
+  )");
+  CliResult r = run_cli({"opmin", f.path()});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("optimal:"), std::string::npos);
+  EXPECT_NE(r.output.find("full binarized program:"), std::string::npos);
+}
+
+TEST(Cli, OpminNothingToDo) {
+  TempFile f("cli_opmin2.tce", kSmallProgram);
+  CliResult r = run_cli({"opmin", f.path()});
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("nothing to binarize"), std::string::npos);
+}
+
+TEST(Cli, CharacterizeEmitsLoadableFile) {
+  CliResult r = run_cli({"characterize", "--procs", "16"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("tce-characterization 2"), std::string::npos);
+
+  // Feed the characterization back into plan via --machine.
+  TempFile machine("cli_machine.txt", r.output);
+  TempFile f("cli_small5.tce", kSmallProgram);
+  CliResult p = run_cli(
+      {"plan", f.path(), "--procs", "16", "--machine", machine.path()});
+  EXPECT_EQ(p.exit_code, 0) << p.error;
+}
+
+TEST(Cli, MachineFileProcsMismatchIsRejected) {
+  CliResult c = run_cli({"characterize", "--procs", "16"});
+  TempFile machine("cli_machine2.txt", c.output);
+  TempFile f("cli_small6.tce", kSmallProgram);
+  CliResult p = run_cli(
+      {"plan", f.path(), "--procs", "4", "--machine", machine.path()});
+  EXPECT_EQ(p.exit_code, 1);
+  EXPECT_NE(p.error.find("16 processors"), std::string::npos);
+}
+
+TEST(Cli, ExtensionFlagsAreAccepted) {
+  TempFile f("cli_ext.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4",
+                         "--replication", "--liveness"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("total communication"), std::string::npos);
+  EXPECT_NE(r.output.find("liveness-aware"), std::string::npos);
+}
+
+TEST(Cli, ValidateComparesPredictedAndSimulated) {
+  TempFile f("cli_val.tce", kSmallProgram);
+  CliResult r = run_cli({"validate", f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("predicted"), std::string::npos);
+  EXPECT_NE(r.output.find("simulated"), std::string::npos);
+  EXPECT_NE(r.output.find("TOTAL"), std::string::npos);
+}
+
+TEST(Cli, PlanHandlesMultiOutputPrograms) {
+  TempFile f("cli_forest.tce", R"(
+    index a, b, c, d = 64
+    index i, j, k = 32
+    T[a,c] = sum[b] X[a,b] * Y[b,c]
+    R1[a,d] = sum[c] T[a,c] * Z[c,d]
+    R2[i,k] = sum[j] P[i,j] * Q[j,k]
+  )");
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("output R1:"), std::string::npos);
+  EXPECT_NE(r.output.find("output R2:"), std::string::npos);
+  EXPECT_NE(r.output.find("total communication"), std::string::npos);
+}
+
+TEST(Cli, PlanWithOpminFlagHandlesMultiFactor) {
+  TempFile f("cli_multi.tce", R"(
+    index a, b, c, d = 16
+    S[a,d] = sum[b,c] X[a,b] * Y[b,c] * Z[c,d]
+  )");
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--opmin"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("S[a,d]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tce

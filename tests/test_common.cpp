@@ -1,0 +1,140 @@
+// Tests for tce/common: contracts, checked/saturating arithmetic,
+// strings, tables, and byte-unit formatting (including the paper's table
+// convention).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "tce/common/checked.hpp"
+#include "tce/common/rng.hpp"
+#include "tce/common/strings.hpp"
+#include "tce/common/table.hpp"
+#include "tce/common/units.hpp"
+
+namespace tce {
+namespace {
+
+// ---------------------------------------------------------------- checked
+
+TEST(Checked, MulAndAddPassThrough) {
+  EXPECT_EQ(checked_mul(480, 480), 230'400u);
+  EXPECT_EQ(checked_add(1, 2), 3u);
+  EXPECT_EQ(checked_mul(0, std::numeric_limits<std::uint64_t>::max()), 0u);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  const std::uint64_t big = std::uint64_t{1} << 63;
+  EXPECT_THROW(checked_mul(big, 2), ContractViolation);
+  EXPECT_THROW(checked_add(std::numeric_limits<std::uint64_t>::max(), 1),
+               ContractViolation);
+}
+
+TEST(Checked, SaturatingClampsInsteadOfThrowing) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(saturating_mul(max, 2), max);
+  EXPECT_EQ(saturating_add(max, 1), max);
+  EXPECT_EQ(saturating_mul(3, 4), 12u);
+}
+
+TEST(Checked, ExactIsqrt) {
+  EXPECT_EQ(exact_isqrt(0), 0u);
+  EXPECT_EQ(exact_isqrt(1), 1u);
+  EXPECT_EQ(exact_isqrt(64), 8u);
+  EXPECT_EQ(exact_isqrt(65536), 256u);
+  EXPECT_THROW(exact_isqrt(63), ContractViolation);
+}
+
+TEST(Checked, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, TrimAndSplit) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(split("a, b ,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_nonempty("a,,b", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("T1"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_FALSE(is_identifier("1T"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Strings, JoinAndFixed) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(98.04, 1), "98.0");
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, PaperConventionMatchesPublishedEntries) {
+  // Exact entries from the paper's Tables 1-2.
+  EXPECT_EQ(format_bytes_paper(117'964'800), "115.2MB");
+  EXPECT_EQ(format_bytes_paper(1'769'472'000), "1.728GB");
+  EXPECT_EQ(format_bytes_paper(110'592'000), "108.0MB");
+  EXPECT_EQ(format_bytes_paper(58'982'400), "57.6MB");
+}
+
+TEST(Units, SiFormatting) {
+  EXPECT_EQ(format_bytes_si(999), "999 B");
+  EXPECT_EQ(format_bytes_si(1'500), "1.50 KB");
+  EXPECT_EQ(format_bytes_si(2'000'000'000), "2.00 GB");
+}
+
+TEST(Units, SecondsPaperStyle) {
+  EXPECT_EQ(format_seconds_paper(98.0), "98.0 sec.");
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.set_right_aligned(1);
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string s = t.str();
+  // All lines equal width up to trailing content.
+  EXPECT_NE(s.find("name       value"), std::string::npos);
+  EXPECT_NE(s.find("a              1"), std::string::npos);
+  EXPECT_NE(s.find("long-name  12345"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  EXPECT_THROW(t.set_right_aligned(5), ContractViolation);
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tce

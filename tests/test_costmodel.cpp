@@ -1,0 +1,217 @@
+// Tests for tce/costmodel: cost curves, characterization file round-trip,
+// simulated measurement, and the §3.3 RotateCost formula.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "tce/common/error.hpp"
+#include "tce/costmodel/analytic.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/costmodel/rotate_cost.hpp"
+#include "tce/expr/parser.hpp"
+
+namespace tce {
+namespace {
+
+// ---------------------------------------------------------------- CostCurve
+
+TEST(CostCurve, ExactAtSamples) {
+  CostCurve c;
+  c.add_sample(1000, 0.5);
+  c.add_sample(10000, 3.0);
+  c.add_sample(100000, 25.0);
+  EXPECT_NEAR(c.eval(1000), 0.5, 1e-12);
+  EXPECT_NEAR(c.eval(10000), 3.0, 1e-12);
+  EXPECT_NEAR(c.eval(100000), 25.0, 1e-12);
+}
+
+TEST(CostCurve, LogLogInterpolationIsMonotone) {
+  CostCurve c;
+  c.add_sample(1024, 0.1);
+  c.add_sample(1024 * 1024, 2.0);
+  double prev = 0.0;
+  for (std::uint64_t b = 1024; b <= 1024 * 1024; b += 16384) {
+    const double v = c.eval(b);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(CostCurve, InterpolatesPowerLawsExactly) {
+  // For t = a·b^p the log-log interpolation is exact everywhere.
+  CostCurve c;
+  auto t = [](double b) { return 3e-8 * std::pow(b, 1.25); };
+  for (std::uint64_t b : {1000ull, 8000ull, 64000ull}) {
+    c.add_sample(b, t(static_cast<double>(b)));
+  }
+  EXPECT_NEAR(c.eval(4000), t(4000), 1e-9 * t(4000));
+  // Extrapolation keeps the end slope.
+  EXPECT_NEAR(c.eval(512000), t(512000), 1e-9 * t(512000));
+  EXPECT_NEAR(c.eval(100), t(100), 1e-9 * t(100));
+}
+
+TEST(CostCurve, RejectsNonIncreasingSamples) {
+  CostCurve c;
+  c.add_sample(1000, 1.0);
+  EXPECT_THROW(c.add_sample(1000, 2.0), ContractViolation);
+  EXPECT_THROW(c.add_sample(10, 2.0), ContractViolation);
+}
+
+TEST(CostCurve, EmptyCurveThrowsOnEval) {
+  EXPECT_THROW(CostCurve().eval(10), ContractViolation);
+}
+
+// ------------------------------------------------- Characterization file
+
+TEST(CharacterizationFile, RoundTrips) {
+  CharacterizationTable t = characterize_itanium(16);
+  const std::string text = t.save_string();
+  CharacterizationTable u = CharacterizationTable::load_string(text);
+  EXPECT_EQ(u.grid.procs, 16u);
+  EXPECT_EQ(u.grid.procs_per_node, 2u);
+  EXPECT_EQ(u.flops_per_proc, t.flops_per_proc);
+  ASSERT_EQ(u.rotate_dim1.size(), t.rotate_dim1.size());
+  for (std::size_t i = 0; i < t.rotate_dim1.size(); ++i) {
+    EXPECT_EQ(u.rotate_dim1.sample_bytes()[i],
+              t.rotate_dim1.sample_bytes()[i]);
+    EXPECT_DOUBLE_EQ(u.rotate_dim1.sample_seconds()[i],
+                     t.rotate_dim1.sample_seconds()[i]);
+  }
+}
+
+TEST(CharacterizationFile, RejectsGarbage) {
+  EXPECT_THROW(CharacterizationTable::load_string("not a file"), Error);
+  EXPECT_THROW(CharacterizationTable::load_string(
+                   "tce-characterization 2\ngrid 16 2\n"),
+               Error);
+  EXPECT_THROW(CharacterizationTable::load_string(
+                   "tce-characterization 1\ngrid 16 2\nflops_per_proc "
+                   "1e9\nrotate_dim1 3\n1000 0.5\n"),
+               Error);  // truncated
+}
+
+// ------------------------------------------------- Simulated measurement
+
+TEST(Characterize, RotationCostsScaleWithSizeAndAreSymmetric) {
+  CharacterizationTable t = characterize_itanium(16);
+  CharacterizedModel m(std::move(t));
+  const double small = m.rotate_cost(1 << 20, 1);
+  const double large = m.rotate_cost(16u << 20, 1);
+  EXPECT_GT(large, 4 * small);
+  // The cyclic rank→node layout makes both grid dimensions symmetric.
+  for (std::uint64_t b : {1ull << 16, 1ull << 22, 1ull << 26}) {
+    EXPECT_NEAR(m.rotate_cost(b, 1), m.rotate_cost(b, 2),
+                0.05 * m.rotate_cost(b, 1));
+  }
+}
+
+TEST(Characterize, MatchesAnalyticModelOnSymmetricMachine) {
+  // The simulated itanium cluster was calibrated to α=60 ms per step and
+  // 13.5 MB/s per processor; the characterized and analytic models must
+  // agree within a few percent at rotation-relevant sizes.
+  CharacterizedModel cm(characterize_itanium(16));
+  AnalyticModel am(ProcGrid::make(16, 2), AnalyticParams{});
+  for (std::uint64_t b :
+       {500ull * 1024, 8ull << 20, 55ull << 20, 230ull << 20}) {
+    const double c = cm.rotate_cost(b, 1);
+    const double a = am.rotate_cost(b, 1);
+    EXPECT_NEAR(c, a, 0.08 * a) << "bytes=" << b;
+  }
+}
+
+TEST(Characterize, PaperScaleSpotChecks) {
+  // Table 1 (64 procs): a full rotation of D's 59 MB per-processor blocks
+  // cost 35.7 s; of C's 3.9 MB blocks, 2.8 s.  Our simulated machine
+  // should land within ~20% of those.
+  CharacterizedModel m(characterize_itanium(64));
+  EXPECT_NEAR(m.rotate_cost(58'982'400, 2), 35.7, 7.0);
+  EXPECT_NEAR(m.rotate_cost(251'658'240 / 64, 2), 2.8, 0.6);
+}
+
+TEST(Characterize, RejectsMismatchedGrid) {
+  Network net(ClusterSpec::itanium2003(8));
+  EXPECT_THROW(characterize(net, ProcGrid::make(64, 2)), Error);
+}
+
+// -------------------------------------------------------------- RotateCost
+
+class RotateCostFixture : public ::testing::Test {
+ protected:
+  RotateCostFixture()
+      : seq_(parse_formula_sequence(R"(
+          index a, b, c, d = 480
+          index e, f = 64
+          index i, j, k, l = 32
+          T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+          T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+          S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+        )")),
+        sp_(seq_.space()),
+        grid_(ProcGrid::make(16, 2)),
+        model_(grid_, AnalyticParams{}) {}
+
+  TensorRef tensor(const std::string& name) const {
+    for (const auto& t : seq_.inputs()) {
+      if (t.name == name) return t;
+    }
+    for (const auto& f : seq_.formulas()) {
+      if (f.result.name == name) return f.result;
+    }
+    throw Error("no tensor " + name);
+  }
+
+  FormulaSequence seq_;
+  const IndexSpace& sp_;
+  ProcGrid grid_;
+  AnalyticModel model_;
+};
+
+TEST_F(RotateCostFixture, UnfusedRotationIsOneFullRotation) {
+  // A(a,c,i,k) at <a,k>, unfused: one full rotation of 118 MB blocks.
+  TensorRef a = tensor("A");
+  Distribution d(sp_.id("a"), sp_.id("k"));
+  const double got = rotate_cost(model_, a, d, 2, IndexSet(), sp_);
+  const std::uint64_t block =
+      dist_bytes(a, d, IndexSet(), sp_, grid_);
+  EXPECT_DOUBLE_EQ(got, model_.rotate_cost(block, 2));
+  // ≈ paper's 34.6 s (Table 2).
+  EXPECT_NEAR(got, 34.6, 3.0);
+}
+
+TEST_F(RotateCostFixture, FusedRotationMultipliesMessages) {
+  // B(b,e,f,l) at <e,b> with f fused: 64 iterations of a rotation of the
+  // (b/4,e/4,1,l) slice.  Paper Table 2: 25.7 s.
+  TensorRef b = tensor("B");
+  Distribution d(sp_.id("e"), sp_.id("b"));
+  IndexSet fused = IndexSet::single(sp_.id("f"));
+  const double got = rotate_cost(model_, b, d, 1, fused, sp_);
+  EXPECT_NEAR(got, 25.7, 3.0);
+  // Identity: equals MsgFactor × RCost(DistSize).
+  EXPECT_DOUBLE_EQ(
+      got, static_cast<double>(msg_factor(b, d, fused, sp_, grid_)) *
+               model_.rotate_cost(dist_bytes(b, d, fused, sp_, grid_), 1));
+}
+
+TEST_F(RotateCostFixture, FusedT1RotationDominates) {
+  // T1(b,c,d) (f fused) at <d,b>, rotated per f iteration: the paper's
+  // dominant 902 s entry.
+  TensorRef t1 = tensor("T1");
+  Distribution d(sp_.id("d"), sp_.id("b"));
+  IndexSet fused = IndexSet::single(sp_.id("f"));
+  const double got = rotate_cost(model_, t1, d, 1, fused, sp_);
+  EXPECT_GT(got, 700.0);
+  EXPECT_LT(got, 1300.0);
+}
+
+TEST_F(RotateCostFixture, RedistributeZeroWhenSame) {
+  TensorRef a = tensor("A");
+  Distribution d(sp_.id("a"), sp_.id("k"));
+  EXPECT_EQ(redistribute_cost(model_, a, d, d, IndexSet(), sp_), 0.0);
+  Distribution d2(sp_.id("a"), sp_.id("c"));
+  EXPECT_GT(redistribute_cost(model_, a, d, d2, IndexSet(), sp_), 0.0);
+}
+
+}  // namespace
+}  // namespace tce

@@ -1,0 +1,217 @@
+// Tests for multi-output programs: forest splitting, the plan frontier,
+// and joint optimization under a shared memory limit.
+
+#include <gtest/gtest.h>
+
+#include "tce/common/error.hpp"
+#include "tce/core/forest.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/expr/parser.hpp"
+
+namespace tce {
+namespace {
+
+constexpr const char* kTwoOutputs = R"(
+  index a, b, c, d = 256
+  index i, j, k = 32
+  T[a,c] = sum[b] X[a,b] * Y[b,c]
+  R1[a,d] = sum[c] T[a,c] * Z[c,d]
+  R2[i,k] = sum[j] P[i,j] * Q[j,k]
+)";
+
+FormulaSequence two_output_seq() {
+  return to_formula_sequence(parse_program(kTwoOutputs),
+                             /*allow_forest=*/true);
+}
+
+// ------------------------------------------------------------- splitting
+
+TEST(Forest, SingleRootConversionRejectsMultipleOutputs) {
+  EXPECT_THROW(to_formula_sequence(parse_program(kTwoOutputs)), Error);
+}
+
+TEST(Forest, SplitsIntoIndependentTrees) {
+  ContractionForest forest =
+      ContractionForest::from_sequence(two_output_seq());
+  ASSERT_EQ(forest.trees.size(), 2u);
+  EXPECT_EQ(forest.trees[0].node(forest.trees[0].root()).tensor.name,
+            "R1");
+  EXPECT_EQ(forest.trees[1].node(forest.trees[1].root()).tensor.name,
+            "R2");
+  // R1's tree has X, Y, Z leaves; R2's has P, Q.
+  EXPECT_EQ(forest.trees[0].leaves().size(), 3u);
+  EXPECT_EQ(forest.trees[1].leaves().size(), 2u);
+}
+
+TEST(Forest, SingleOutputYieldsOneTree) {
+  FormulaSequence seq = parse_formula_sequence(
+      "index i, j, k = 16\nC[i,j] = sum[k] A[i,k] * B[k,j]");
+  ContractionForest forest = ContractionForest::from_sequence(seq);
+  EXPECT_EQ(forest.trees.size(), 1u);
+}
+
+TEST(Forest, RootNamesReportsOutputs) {
+  FormulaSequence seq = two_output_seq();
+  EXPECT_EQ(seq.root_names(),
+            (std::vector<std::string>{"R1", "R2"}));
+}
+
+TEST(Forest, TotalFlopsSumsTrees) {
+  ContractionForest forest =
+      ContractionForest::from_sequence(two_output_seq());
+  EXPECT_EQ(forest.total_flops(), forest.trees[0].total_flops() +
+                                      forest.trees[1].total_flops());
+}
+
+// -------------------------------------------------------------- frontier
+
+TEST(Frontier, FirstElementIsTheOptimum) {
+  FormulaSequence seq = parse_formula_sequence(R"(
+    index a, b, c, d = 480
+    index e, f = 64
+    index i, j, k, l = 32
+    T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+    T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+    S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+  )");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = 4'000'000'000;
+  std::vector<OptimizedPlan> frontier = optimize_frontier(tree, model, cfg);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_DOUBLE_EQ(frontier.front().total_comm_s,
+                   optimize(tree, model, cfg).total_comm_s);
+  // The frontier is Pareto over (cost, memory, largest message): sorted
+  // by cost, and no entry dominated by another on all three.
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].total_comm_s, frontier[i - 1].total_comm_s);
+  }
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    for (std::size_t j = 0; j < frontier.size(); ++j) {
+      if (i == j) continue;
+      const bool leq =
+          frontier[j].total_comm_s <= frontier[i].total_comm_s &&
+          frontier[j].array_bytes_per_proc <=
+              frontier[i].array_bytes_per_proc &&
+          frontier[j].max_msg_bytes_per_proc <=
+              frontier[i].max_msg_bytes_per_proc;
+      const bool strict =
+          frontier[j].total_comm_s < frontier[i].total_comm_s ||
+          frontier[j].array_bytes_per_proc <
+              frontier[i].array_bytes_per_proc ||
+          frontier[j].max_msg_bytes_per_proc <
+              frontier[i].max_msg_bytes_per_proc;
+      EXPECT_FALSE(leq && strict)
+          << "entry " << i << " dominated by " << j;
+    }
+  }
+  // Tighter limits appear on the frontier: there is more than one point
+  // for this memory-pressured workload.
+  EXPECT_GT(frontier.size(), 1u);
+}
+
+// ---------------------------------------------------------------- forest
+
+TEST(ForestOptimize, MatchesIndependentOptimaWhenMemoryIsLoose) {
+  ContractionForest forest =
+      ContractionForest::from_sequence(two_output_seq());
+  CharacterizedModel model(characterize_itanium(16));
+  ForestPlan fp = optimize_forest(forest, model);
+  double want = 0;
+  for (const auto& tree : forest.trees) {
+    want += optimize(tree, model).total_comm_s;
+  }
+  EXPECT_DOUBLE_EQ(fp.total_comm_s, want);
+  ASSERT_EQ(fp.plans.size(), 2u);
+}
+
+TEST(ForestOptimize, SharedLimitCouplesTheTrees) {
+  // Two copies of the paper's memory-hungry chain: together they need
+  // twice the memory, so at a limit where one tree alone could run
+  // unfused, the pair must fuse (costing more than 2x the single-tree
+  // optimum at the same limit would suggest).
+  constexpr const char* kDouble = R"(
+    index a, b, c, d = 480
+    index e, f = 64
+    index i, j, k, l = 32
+    T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+    T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+    S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+    U1[b,c,d,f] = sum[e,l] B2[b,e,f,l] * D2[c,d,e,l]
+    U2[b,c,j,k] = sum[d,f] U1[b,c,d,f] * C2[d,f,j,k]
+    V[a,b,i,j]  = sum[c,k] U2[b,c,j,k] * A2[a,c,i,k]
+  )";
+  ContractionForest forest = ContractionForest::from_sequence(
+      to_formula_sequence(parse_program(kDouble), true));
+  ASSERT_EQ(forest.trees.size(), 2u);
+  CharacterizedModel model(characterize_itanium(16));
+
+  // 9 GB/node: one tree runs unfused (needs ~8.8 GB incl. buffer), but
+  // two cannot share it.
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = 9'000'000'000;
+  const double single =
+      optimize(forest.trees[0], model, cfg).total_comm_s;
+  ForestPlan fp = optimize_forest(forest, model, cfg);
+  EXPECT_GT(fp.total_comm_s, 2 * single * 1.5);
+
+  // With a loose limit, the pair costs exactly twice the single optimum.
+  OptimizerConfig loose;
+  ForestPlan free_plan = optimize_forest(forest, model, loose);
+  EXPECT_NEAR(free_plan.total_comm_s,
+              2 * optimize(forest.trees[0], model, loose).total_comm_s,
+              1e-6);
+}
+
+TEST(ForestOptimize, ExtraTemplatesNeverHurtFeasibilityOrCost) {
+  // Regression: the per-tree frontier must keep the largest-message
+  // dimension, or a low-cost replicated plan with a huge transient can
+  // shadow the cannon plan the joint selection needs.  Enabling the
+  // replication template must never make the forest infeasible or more
+  // expensive.
+  ParsedProgram program = parse_program(R"(
+    index i, j, k, l = 64
+    index a, b, c, d = 256
+    Rpp[a,b,i,j] = sum[c,d] Vabcd[a,b,c,d] * Ta[c,d,i,j]
+    Rhh[a,b,i,j] = sum[k,l] Vklij[k,l,i,j] * Tb[a,b,k,l]
+  )");
+  ContractionForest forest = ContractionForest::from_sequence(
+      to_formula_sequence(program, /*allow_forest=*/true));
+  CharacterizedModel model(characterize_itanium(64));
+  OptimizerConfig base;
+  base.mem_limit_node_bytes = 2'000'000'000;
+  OptimizerConfig ext = base;
+  ext.enable_replication_template = true;
+  const double cannon = optimize_forest(forest, model, base).total_comm_s;
+  const double with_repl =
+      optimize_forest(forest, model, ext).total_comm_s;
+  EXPECT_LE(with_repl, cannon * (1 + 1e-12));
+}
+
+TEST(ForestOptimize, InfeasibleWhenNothingFits) {
+  ContractionForest forest =
+      ContractionForest::from_sequence(two_output_seq());
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = 1000;  // 1 KB
+  EXPECT_THROW(optimize_forest(forest, model, cfg), InfeasibleError);
+}
+
+TEST(ForestOptimize, LivenessComposesAcrossTrees) {
+  ContractionForest forest =
+      ContractionForest::from_sequence(two_output_seq());
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig live;
+  live.liveness_aware = true;
+  OptimizerConfig summed;
+  const ForestPlan a = optimize_forest(forest, model, live);
+  const ForestPlan b = optimize_forest(forest, model, summed);
+  // Unlimited memory: same cost either way; live accounting reports a
+  // peak no larger than the summed footprint.
+  EXPECT_DOUBLE_EQ(a.total_comm_s, b.total_comm_s);
+  EXPECT_LE(a.bytes_per_node, b.bytes_per_node);
+}
+
+}  // namespace
+}  // namespace tce

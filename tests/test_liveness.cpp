@@ -1,0 +1,175 @@
+// Tests for the liveness-aware memory accounting extension: peak-live
+// tracking must be consistent, never admit less than the paper's summed
+// model, and extend the feasibility frontier.
+
+#include <gtest/gtest.h>
+
+#include "tce/common/error.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/expr/parser.hpp"
+
+#include "paper_workload.hpp"
+
+namespace tce {
+namespace {
+
+using ::tce::testing::kNodeLimit4GB;
+using ::tce::testing::kPaperProgram;
+using ::tce::testing::paper_tree;
+
+
+TEST(Liveness, PeakNeverExceedsSummedModel) {
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(16));
+  for (std::uint64_t limit : {0ull, 4'000'000'000ull, 2'000'000'000ull}) {
+    OptimizerConfig cfg;
+    cfg.mem_limit_node_bytes = limit;
+    cfg.liveness_aware = true;
+    OptimizedPlan plan = optimize(tree, model, cfg);
+    EXPECT_LE(plan.peak_live_bytes_per_proc, plan.array_bytes_per_proc);
+    EXPECT_TRUE(plan.liveness_aware);
+  }
+}
+
+TEST(Liveness, NeverCostsMoreThanSummedModel) {
+  // Every summed-model-feasible plan is liveness-feasible, so the
+  // liveness optimum can only be cheaper or equal at any limit.
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(16));
+  for (double gb : {1.6, 2.0, 4.0, 10.0}) {
+    OptimizerConfig summed;
+    summed.mem_limit_node_bytes =
+        static_cast<std::uint64_t>(gb * 1e9);
+    OptimizerConfig live = summed;
+    live.liveness_aware = true;
+    const double cs = optimize(tree, model, summed).total_comm_s;
+    const double cl = optimize(tree, model, live).total_comm_s;
+    EXPECT_LE(cl, cs * (1 + 1e-12)) << "limit " << gb << " GB";
+  }
+}
+
+TEST(Liveness, AdmitsUnfusedPlanWhereSummedModelMustFuse) {
+  // For the paper workload, the output S (236 MB/node) is dead weight in
+  // the summed model while the unfused peak occurs in step 2, before S
+  // exists.  Exact per-node numbers: summed unfused needs 8,351,907,840 B of
+  // arrays + 471,859,200 B send buffers (2 × D's block) = 8,823,767,040;
+  // the live unfused peak is inputs (802,160,640) + T1 + T2 alive in
+  // step 2 (7,313,817,600) = 8,115,978,240, + buffers = 8,587,837,440.
+  // A limit between the two admits the cheap unfused plan only under
+  // liveness accounting.
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(16));
+
+  OptimizerConfig summed;
+  summed.mem_limit_node_bytes = 8'700'000'000;  // inside the window
+  OptimizerConfig live = summed;
+  live.liveness_aware = true;
+
+  OptimizedPlan ps = optimize(tree, model, summed);
+  OptimizedPlan pl = optimize(tree, model, live);
+
+  // Summed accounting is forced to fuse; liveness is not.
+  bool summed_fused = false;
+  for (const auto& s : ps.steps) summed_fused |= !s.fusion.empty();
+  bool live_fused = false;
+  for (const auto& s : pl.steps) live_fused |= !s.fusion.empty();
+  EXPECT_TRUE(summed_fused);
+  EXPECT_FALSE(live_fused);
+  EXPECT_LT(pl.total_comm_s, ps.total_comm_s);
+  // The live plan achieves the unconstrained optimum.
+  OptimizerConfig unlimited;
+  EXPECT_DOUBLE_EQ(pl.total_comm_s,
+                   optimize(tree, model, unlimited).total_comm_s);
+
+  // And the live peak matches the hand computation.
+  EXPECT_EQ(pl.peak_live_bytes_per_proc * pl.procs_per_node,
+            8'115'978'240u);
+}
+
+TEST(Liveness, KeepsTheCheapFusionFeasibleLonger) {
+  // At 1.6 GB/node the summed model cannot afford the f-fused plan
+  // (1.352 GB of arrays + 236 MB buffers with T1 counted forever) and
+  // must over-fuse to T1:{b}; liveness accounting frees step-1/2
+  // transients early enough that the cheaper f-fusion still fits.
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig summed;
+  summed.mem_limit_node_bytes = 1'600'000'000;
+  OptimizerConfig live = summed;
+  live.liveness_aware = true;
+  const double cs = optimize(tree, model, summed).total_comm_s;
+  const double cl = optimize(tree, model, live).total_comm_s;
+  EXPECT_LT(cl, cs * 0.9);
+}
+
+TEST(Liveness, FusedWorkingSetsPinTheirOperands) {
+  // Regression for the working-set semantics: a node fused with its
+  // parent re-executes per iteration, so its operands stay live.  A
+  // plan fusing T2 with the root would keep the whole unfused T1 alive
+  // through step 3; the optimizer must account for that and reject such
+  // plans under limits they would violate.
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig live;
+  live.mem_limit_node_bytes = 8'450'000'000;
+  live.liveness_aware = true;
+  OptimizedPlan plan = optimize(tree, model, live);
+  // T2 fused with the root while T1 stays unfused needs ≈8.6 GB/node of
+  // live data — over this limit — so any surviving plan must shrink T1.
+  for (const PlanStep& s : plan.steps) {
+    if (s.result_name == "T2" && !s.fusion.empty()) {
+      const ArrayReport* t1 = nullptr;
+      for (const auto& a : plan.arrays) {
+        if (a.full.name == "T1") t1 = &a;
+      }
+      ASSERT_NE(t1, nullptr);
+      EXPECT_LT(t1->reduced.rank(), t1->full.rank());
+    }
+  }
+  EXPECT_LE((plan.peak_live_bytes_per_proc +
+             plan.max_msg_bytes_per_proc) *
+                plan.procs_per_node,
+            live.mem_limit_node_bytes);
+}
+
+TEST(Liveness, UnlimitedMemoryAgreesWithSummedModel) {
+  ContractionTree tree = paper_tree();
+  CharacterizedModel model(characterize_itanium(64));
+  OptimizerConfig a, b;
+  b.liveness_aware = true;
+  EXPECT_DOUBLE_EQ(optimize(tree, model, a).total_comm_s,
+                   optimize(tree, model, b).total_comm_s);
+}
+
+TEST(Liveness, SingleContractionPeakIsExact) {
+  // One matmul: peak = inputs + result; no intermediate ever freed.
+  FormulaSequence seq = parse_formula_sequence(
+      "index i, j, k = 64\nC[i,j] = sum[k] A[i,k] * B[k,j]");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.liveness_aware = true;
+  OptimizedPlan plan = optimize(tree, model, cfg);
+  EXPECT_EQ(plan.peak_live_bytes_per_proc, plan.array_bytes_per_proc);
+}
+
+TEST(Liveness, ChainFreesTheFirstIntermediate) {
+  // C1 = A·B; C2 = C1·E; C3 = C2·F.  Under liveness, C1 is dead while
+  // C3 executes, so peak < sum.
+  FormulaSequence seq = parse_formula_sequence(R"(
+    index i, j, k, l, m = 64
+    C1[i,k] = sum[j] A[i,j] * B[j,k]
+    C2[i,l] = sum[k] C1[i,k] * E[k,l]
+    C3[i,m] = sum[l] C2[i,l] * F[l,m]
+  )");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.liveness_aware = true;
+  OptimizedPlan plan = optimize(tree, model, cfg);
+  EXPECT_LT(plan.peak_live_bytes_per_proc, plan.array_bytes_per_proc);
+}
+
+}  // namespace
+}  // namespace tce

@@ -1,0 +1,210 @@
+// Tests for tce/opmin: the operation-minimization subset DP must
+// reproduce the paper's §2 operation counts and produce valid,
+// numerically correct formula sequences.
+
+#include <gtest/gtest.h>
+
+#include "tce/common/error.hpp"
+#include "tce/opmin/opmin.hpp"
+#include "tce/tensor/einsum.hpp"
+
+namespace tce {
+namespace {
+
+// The §2 example: S_abij = Σ_cdefkl A_acik B_befl C_dfjk D_cdel.
+ParsedProgram paper_product(std::uint64_t n) {
+  const std::string ns = std::to_string(n);
+  return parse_program(
+      "index a, b, c, d, e, f, i, j, k, l = " + ns +
+      "\n"
+      "S[a,b,i,j] = sum[c,d,e,f,k,l] A[a,c,i,k] * B[b,e,f,l] * "
+      "C[d,f,j,k] * D[c,d,e,l]");
+}
+
+TEST(OpMin, PaperExampleSixNToTheSix) {
+  const std::uint64_t n = 10;
+  ParsedProgram p = paper_product(n);
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+  const std::uint64_t n6 = n * n * n * n * n * n;
+  const std::uint64_t n10 = n6 * n * n * n * n;
+  EXPECT_EQ(r.flops, 6 * n6);        // paper: "only requires 6N^6"
+  EXPECT_EQ(r.naive_flops, 4 * n10); // paper: "4N^10"
+  EXPECT_EQ(r.sequence.formulas().size(), 3u);
+}
+
+TEST(OpMin, PaperExtentsChooseBDFirst) {
+  // With the paper's §4 extents the optimal order is
+  // ((B·D)·C)·A — the formula sequence of Fig. 2(a).
+  ParsedProgram p = parse_program(R"(
+    index a, b, c, d = 480
+    index e, f = 64
+    index i, j, k, l = 32
+    S[a,b,i,j] = sum[c,d,e,f,k,l] A[a,c,i,k] * B[b,e,f,l] * C[d,f,j,k] * D[c,d,e,l]
+  )");
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+  ASSERT_EQ(r.sequence.formulas().size(), 3u);
+  const Formula& first = r.sequence.formulas()[0];
+  std::set<std::string> ops{first.lhs.name, first.rhs->name};
+  EXPECT_EQ(ops, (std::set<std::string>{"B", "D"}));
+  const Formula& last = r.sequence.formulas()[2];
+  EXPECT_EQ(last.result.name, "S");
+  // The optimal count matches the Fig. 2 flop budget.
+  const std::uint64_t n480 = 480ull * 480 * 480;
+  EXPECT_EQ(r.flops, 2 * n480 * 64 * 64 * 32 + 2 * n480 * 64 * 32 * 32 +
+                         2 * n480 * 32 * 32 * 32);
+}
+
+TEST(OpMin, FigureOnePreReductionCounts) {
+  // §2: S(t) = Σ_ijk A(i,j,t)·B(j,k,t) costs 2·Ni·Nj·Nk·Nt directly but
+  // only Ni·Nj·Nt + Nj·Nk·Nt + 2·Nj·Nt after factoring.
+  ParsedProgram p = parse_program(R"(
+    index i = 10
+    index j = 20
+    index k = 30
+    index t = 5
+    S[t] = sum[i,j,k] A[i,j,t] * B[j,k,t]
+  )");
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+  EXPECT_EQ(r.flops, 10u * 20 * 5 + 20u * 30 * 5 + 2u * 20 * 5);
+  EXPECT_EQ(r.naive_flops, 2u * 10 * 20 * 30 * 5);
+  // Structure: two pre-reductions plus one batch contraction.
+  ASSERT_EQ(r.sequence.formulas().size(), 3u);
+  EXPECT_EQ(r.sequence.formulas()[0].kind, Formula::Kind::kSum);
+  EXPECT_EQ(r.sequence.formulas()[1].kind, Formula::Kind::kSum);
+  EXPECT_EQ(r.sequence.formulas()[2].kind, Formula::Kind::kContract);
+}
+
+TEST(OpMin, BinarizedSequenceEvaluatesCorrectly) {
+  // The optimal order must compute the same values as direct evaluation.
+  ParsedProgram p = paper_product(4);
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+  ContractionTree tree = ContractionTree::from_sequence(r.sequence);
+  Rng rng(99);
+  auto inputs = make_random_inputs(tree, rng);
+  DenseTensor got = evaluate_tree(tree, inputs);
+
+  // Direct evaluation: one einsum over all four factors, pairwise without
+  // dropping any index until the end.
+  const IndexSpace& sp = p.space;
+  auto dim = [&](const char* nm) { return sp.id(nm); };
+  DenseTensor ab = einsum_pair(inputs.at("A"), inputs.at("B"),
+                               {dim("a"), dim("c"), dim("i"), dim("k"),
+                                dim("b"), dim("e"), dim("f"), dim("l")},
+                               IndexSet());
+  DenseTensor abc = einsum_pair(ab, inputs.at("C"),
+                                {dim("a"), dim("c"), dim("i"), dim("k"),
+                                 dim("b"), dim("e"), dim("f"), dim("l"),
+                                 dim("d"), dim("j")},
+                                IndexSet());
+  DenseTensor want = einsum_pair(
+      abc, inputs.at("D"), {dim("a"), dim("b"), dim("i"), dim("j")},
+      IndexSet::of({dim("c"), dim("d"), dim("e"), dim("f"), dim("k"),
+                    dim("l")}));
+  EXPECT_LT(want.max_abs_diff(got), 1e-8);
+}
+
+TEST(OpMin, TreeFlopsMatchReportedFlops) {
+  ParsedProgram p = paper_product(6);
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+  ContractionTree tree = ContractionTree::from_sequence(r.sequence);
+  EXPECT_EQ(tree.total_flops(), r.flops);
+}
+
+TEST(OpMin, OptimalNeverWorseThanAnyLeftDeepOrder) {
+  // Property: the DP result is ≤ the cost of every left-deep
+  // permutation, computed independently.
+  ParsedProgram p = parse_program(R"(
+    index a = 12
+    index b = 7
+    index c = 19
+    index d = 4
+    index e = 9
+    S[a,e] = sum[b,c,d] W[a,b] * X[b,c] * Y[c,d] * Z[d,e]
+  )");
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+
+  const auto& stmt = p.statements[0];
+  std::vector<int> perm{0, 1, 2, 3};
+  const IndexSet result_set = stmt.result.index_set();
+  std::uint64_t best_manual = ~0ull;
+  do {
+    // Cost of contracting factors in this left-deep order, summing an
+    // index as soon as no remaining factor or the result needs it.
+    IndexSet acc = stmt.factors[static_cast<size_t>(perm[0])].index_set();
+    std::uint64_t cost = 0;
+    for (std::size_t step = 1; step < perm.size(); ++step) {
+      IndexSet rest;
+      for (std::size_t t = step + 1; t < perm.size(); ++t) {
+        rest = rest |
+               stmt.factors[static_cast<size_t>(perm[t])].index_set();
+      }
+      const IndexSet rhs =
+          stmt.factors[static_cast<size_t>(perm[step])].index_set();
+      const IndexSet loop = acc | rhs;
+      cost += 2 * loop.extent_product(p.space);
+      acc = loop & (result_set | rest);
+    }
+    best_manual = std::min(best_manual, cost);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_LE(r.flops, best_manual);
+}
+
+TEST(OpMin, RejectsIllFormedInput) {
+  ParsedProgram p = paper_product(4);
+  OpMinInput in = OpMinInput::from_statement(p.statements[0]);
+  OpMinInput bad = in;
+  bad.sum_indices.insert(p.space.id("a"));  // a is a result index
+  EXPECT_THROW(minimize_operations(bad, p.space), Error);
+  OpMinInput empty = in;
+  empty.factors.clear();
+  EXPECT_THROW(minimize_operations(empty, p.space), Error);
+}
+
+TEST(OpMin, BinarizeProgramMixesStatementKinds) {
+  ParsedProgram p = parse_program(R"(
+    index a, b, c, d = 6
+    T[a,c] = sum[b] X[a,b] * Y[b,c]
+    U[a] = sum[c,d] T[a,c] * V[c,d] * W[d]
+  )");
+  FormulaSequence seq = binarize_program(p);
+  // Statement 2 binarizes into 2 formulas; total 3.
+  EXPECT_EQ(seq.formulas().size(), 3u);
+  EXPECT_EQ(seq.output().name, "U");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  EXPECT_GT(tree.total_flops(), 0u);
+}
+
+TEST(OpMin, SingleFactorReduction) {
+  ParsedProgram p =
+      parse_program("index i, j = 8\nS[j] = sum[i] A[i,j]");
+  OpMinResult r = minimize_operations(
+      OpMinInput::from_statement(p.statements[0]), p.space);
+  EXPECT_EQ(r.flops, 64u);
+  EXPECT_EQ(r.sequence.formulas().size(), 1u);
+}
+
+TEST(OpMin, RepeatedInputWithSameBindingIsSupported) {
+  // The same input used twice with identical index lists stays a tree
+  // (two leaves).  Different bindings of one name (T[i,j]·T[j,k]) are
+  // rejected by validation — rename the second use.
+  ParsedProgram p = parse_program(
+      "index i, j = 6\nS[] = sum[i,j] T[i,j] * T[i,j]");
+  FormulaSequence seq = binarize_program(p);
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  EXPECT_EQ(tree.leaves().size(), 2u);
+
+  EXPECT_THROW(
+      binarize_program(parse_program(
+          "index i, j, k = 6\nS[i,k] = sum[j] T[i,j] * T[j,k]")),
+      Error);
+}
+
+}  // namespace
+}  // namespace tce

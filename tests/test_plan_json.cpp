@@ -1,0 +1,125 @@
+// Tests for the JSON plan export: structural validity (balanced,
+// expected keys, proper escaping) and value fidelity against the plan.
+
+#include <gtest/gtest.h>
+
+#include "tce/cli/cli.hpp"
+#include "tce/core/plan_json.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/expr/parser.hpp"
+
+namespace tce {
+namespace {
+
+OptimizedPlan table2_plan(const char** space_out_name,
+                          FormulaSequence& seq_out) {
+  (void)space_out_name;
+  seq_out = parse_formula_sequence(R"(
+    index a, b, c, d = 480
+    index e, f = 64
+    index i, j, k, l = 32
+    T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+    T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+    S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+  )");
+  ContractionTree tree = ContractionTree::from_sequence(seq_out);
+  static CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = 4'000'000'000;
+  return optimize(tree, model, cfg);
+}
+
+bool balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(PlanJson, StructurallyValidAndComplete) {
+  FormulaSequence seq;
+  OptimizedPlan plan = table2_plan(nullptr, seq);
+  const std::string json = plan_to_json(plan, seq.space());
+  EXPECT_TRUE(balanced(json)) << json;
+  for (const char* key :
+       {"\"total_comm_s\"", "\"memory\"", "\"steps\"", "\"arrays\"",
+        "\"template\":\"cannon\"", "\"fusion\":[\"f\"]",
+        "\"name\":\"T1\"", "\"kind\":\"input\"", "\"kind\":\"output\"",
+        "\"rotation_index\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The fused T1 row exposes its reduced dims (b,c,d — no f).
+  EXPECT_NE(json.find("\"reduced_dims\":[\"b\",\"c\",\"d\"]"),
+            std::string::npos)
+      << json;
+}
+
+TEST(PlanJson, ValuesMatchThePlan) {
+  FormulaSequence seq;
+  OptimizedPlan plan = table2_plan(nullptr, seq);
+  const std::string json = plan_to_json(plan, seq.space());
+  // Memory values are integers and must appear verbatim.
+  EXPECT_NE(json.find("\"array_bytes_per_node\":" +
+                      std::to_string(plan.bytes_per_node())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"buffer_bytes_per_node\":" +
+                      std::to_string(plan.buffer_bytes_per_node())),
+            std::string::npos);
+}
+
+TEST(PlanJson, CliJsonFlagEmitsParseableOutput) {
+  // Smoke via the CLI path (single tree).
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "json_prog.tce";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("index a, b, c = 64\nC[a,c] = sum[b] X[a,b] * Y[b,c]\n",
+               f);
+    std::fclose(f);
+  }
+  CliResult r = run_cli({"plan", path, "--procs", "4", "--json"});
+  std::remove(path.c_str());
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_TRUE(balanced(r.output)) << r.output;
+  EXPECT_EQ(r.output.front(), '{');
+}
+
+TEST(PlanJson, ReplicatedStepsAreLabeled) {
+  FormulaSequence seq = parse_formula_sequence(R"(
+    index i = 2048
+    index j = 4
+    index k = 2048
+    C[i,j] = sum[k] A[i,k] * B[k,j]
+  )");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.enable_replication_template = true;
+  OptimizedPlan plan = optimize(tree, model, cfg);
+  const std::string json = plan_to_json(plan, seq.space());
+  EXPECT_TRUE(balanced(json));
+  if (plan.steps[0].tmpl == StepTemplate::kReplicated) {
+    EXPECT_NE(json.find("\"template\":\"replicated\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rotation_index\":null"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tce

@@ -1,0 +1,13 @@
+// The tcemin command-line tool; all logic lives in tce/cli (testable).
+
+#include <cstdio>
+
+#include "tce/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  tce::CliResult r = tce::run_cli(args);
+  if (!r.output.empty()) std::fputs(r.output.c_str(), stdout);
+  if (!r.error.empty()) std::fputs(r.error.c_str(), stderr);
+  return r.exit_code;
+}
