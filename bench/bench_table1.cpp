@@ -8,6 +8,7 @@
 //   communicated.
 
 #include "bench_common.hpp"
+#include "tce/verify/verifier.hpp"
 
 int main() {
   using namespace tce;
@@ -35,5 +36,16 @@ int main() {
               fixed(plan.total_runtime_s(), 1).c_str(),
               format_bytes_paper(plan.bytes_per_node()).c_str(),
               format_bytes_paper(plan.buffer_bytes_per_node()).c_str());
+
+  VerifyOptions vopts;
+  vopts.mem_limit_node_bytes = cfg.mem_limit_node_bytes;
+  const VerifyReport report = verify_plan(tree, model, plan, vopts);
+  std::printf("verifier:        %llu rules checked, %zu diagnostics\n",
+              static_cast<unsigned long long>(report.rules_checked),
+              report.diagnostics.size());
+  if (!report.ok()) {
+    std::printf("%s", report.str(tree).c_str());
+    return 1;
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/opmin/opmin.hpp"
+#include "tce/verify/verifier.hpp"
 
 namespace tce {
 
@@ -39,6 +40,11 @@ usage:
         --liveness           liveness-aware memory accounting (extension)
         --pseudocode         also print the generated program
         --json               print the plan as JSON instead of tables
+        --verify             round-trip each plan through the JSON codec
+                             and re-check every invariant with the
+                             independent verifier; fails (exit 1) with
+                             one "error node=... rule=...: ..." line per
+                             violation (see docs/VERIFIER.md)
         --opmin              binarize multi-factor statements first
 
   tcemin opmin <program-file>
@@ -147,6 +153,23 @@ CharacterizedModel load_or_measure(Args& args, std::uint32_t procs,
   return CharacterizedModel(characterize(net, grid));
 }
 
+/// `--verify`: exports \p plan to JSON, reads it back, and re-derives
+/// every invariant.  The round trip is deliberate — it checks the codec
+/// is lossless for every verifier-checked field, not just the in-memory
+/// plan.  Throws with the full diagnostic listing on any violation.
+void verify_or_throw(const ContractionTree& tree, const MachineModel& model,
+                     const OptimizedPlan& plan,
+                     std::uint64_t mem_limit_node_bytes) {
+  const OptimizedPlan reread =
+      plan_from_json(plan_to_json(plan, tree.space()), tree);
+  VerifyOptions opts;
+  opts.mem_limit_node_bytes = mem_limit_node_bytes;
+  const VerifyReport report = verify_plan(tree, model, reread, opts);
+  if (!report.ok()) {
+    throw Error("plan verification failed\n" + report.str(tree));
+  }
+}
+
 std::string cmd_plan(Args args) {
   const std::string path = args.take_positional("program file");
   const auto procs = static_cast<std::uint32_t>(
@@ -160,6 +183,7 @@ std::string cmd_plan(Args args) {
   const bool liveness = args.take_flag("--liveness");
   const bool pseudocode = args.take_flag("--pseudocode");
   const bool json = args.take_flag("--json");
+  const bool verify = args.take_flag("--verify");
   const bool opmin = args.take_flag("--opmin");
   CharacterizedModel model = load_or_measure(args, procs, per_node);
   args.expect_empty();
@@ -184,6 +208,9 @@ std::string cmd_plan(Args args) {
   if (forest.trees.size() == 1) {
     const ContractionTree& tree = forest.trees[0];
     OptimizedPlan plan = optimize(tree, model, cfg);
+    if (verify) {
+      verify_or_throw(tree, model, plan, cfg.mem_limit_node_bytes);
+    }
     if (json) return plan_to_json(plan, tree.space()) + "\n";
     std::string out = plan.table(tree.space()) + "\n" +
                       plan.summary(tree.space());
@@ -194,6 +221,15 @@ std::string cmd_plan(Args args) {
   }
 
   ForestPlan fp = optimize_forest(forest, model, cfg);
+  if (verify) {
+    // Forest planning splits the node limit across trees, so each tree
+    // is checked against the invariants alone (limit rechecked jointly
+    // by the forest optimizer itself).
+    for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+      verify_or_throw(forest.trees[t], model, fp.plans[t],
+                      /*mem_limit_node_bytes=*/0);
+    }
+  }
   if (json) {
     std::string out = "[";
     for (std::size_t t = 0; t < forest.trees.size(); ++t) {

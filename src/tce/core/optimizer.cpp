@@ -6,6 +6,7 @@
 #include "tce/common/error.hpp"
 #include "tce/costmodel/rotate_cost.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/verify/verifier.hpp"
 
 namespace tce {
 
@@ -844,20 +845,42 @@ class Search {
   SearchStats stats_;
 };
 
+/// TCE_VERIFY_PLANS debug mode: re-derive every invariant of \p plan
+/// before handing it to the caller.  The verifier shares no search code
+/// with the optimizer, so agreement here is a genuine cross-check.
+void maybe_verify(const ContractionTree& tree, const MachineModel& model,
+                  const OptimizerConfig& config,
+                  const OptimizedPlan& plan) {
+  if (!verify_plans_enabled()) return;
+  VerifyOptions opts;
+  opts.mem_limit_node_bytes = config.mem_limit_node_bytes;
+  const VerifyReport report = verify_plan(tree, model, plan, opts);
+  if (!report.ok()) {
+    throw Error("TCE_VERIFY_PLANS: optimizer emitted an invalid plan\n" +
+                report.str(tree));
+  }
+}
+
 }  // namespace
 
 OptimizedPlan optimize(const ContractionTree& tree,
                        const MachineModel& model,
                        const OptimizerConfig& config) {
   Search search(tree, model, config);
-  return search.run();
+  OptimizedPlan plan = search.run();
+  maybe_verify(tree, model, config, plan);
+  return plan;
 }
 
 std::vector<OptimizedPlan> optimize_frontier(const ContractionTree& tree,
                                              const MachineModel& model,
                                              const OptimizerConfig& config) {
   Search search(tree, model, config);
-  return search.run_frontier();
+  std::vector<OptimizedPlan> plans = search.run_frontier();
+  for (const OptimizedPlan& plan : plans) {
+    maybe_verify(tree, model, config, plan);
+  }
+  return plans;
 }
 
 }  // namespace tce

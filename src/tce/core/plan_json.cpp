@@ -1,7 +1,10 @@
 #include "tce/core/plan_json.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <utility>
 
+#include "tce/common/error.hpp"
 #include "tce/common/strings.hpp"
 
 namespace tce {
@@ -39,9 +42,9 @@ std::string jstr(const std::string& s) {
 
 std::string jnum(double v) {
   if (!std::isfinite(v)) return "null";
-  // Enough digits to round-trip comparisons in tooling.
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
+  // 17 significant digits: doubles survive the round trip exactly.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 
@@ -66,6 +69,290 @@ std::string jdims(const std::vector<IndexId>& dims,
   return "[" + join(parts, ",") + "]";
 }
 
+std::string jindex(IndexId id, const IndexSpace& space) {
+  return id == kNoIndex ? std::string("null") : jstr(space.name(id));
+}
+
+// --------------------------------------------------------------- parsing
+
+/// A parsed JSON value.  Integers keep their exact uint64 representation
+/// alongside the double so byte counts round-trip losslessly.
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::uint64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const Json& at(const std::string& key) const {
+    const Json* v = find(key);
+    if (v == nullptr) throw Error("plan JSON: missing key '" + key + "'");
+    return *v;
+  }
+};
+
+/// Recursive-descent parser over the writer's subset of JSON (which is
+/// all of JSON minus \uXXXX escapes beyond control characters).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw Error("plan JSON: trailing characters at offset " +
+                  std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw Error("plan JSON: unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw Error(std::string("plan JSON: expected '") + c +
+                  "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return Json{};
+      default:
+        return number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        throw Error("plan JSON: bad literal at offset " +
+                    std::to_string(pos_));
+      }
+      ++pos_;
+    }
+  }
+
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::kBool;
+    if (text_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    bool floating = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                 c == '-') {
+        floating = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      throw Error("plan JSON: bad number at offset " +
+                  std::to_string(start));
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    v.number = std::strtod(tok.c_str(), nullptr);
+    if (!floating && tok[0] != '-') {
+      v.is_integer = true;
+      v.integer = std::strtoull(tok.c_str(), nullptr, 10);
+    }
+    return v;
+  }
+
+  Json string_value() {
+    expect('"');
+    Json v;
+    v.kind = Json::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw Error("plan JSON: unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          throw Error("plan JSON: unterminated escape");
+        }
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            v.string += '"';
+            break;
+          case '\\':
+            v.string += '\\';
+            break;
+          case 'n':
+            v.string += '\n';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw Error("plan JSON: bad \\u escape");
+            }
+            const unsigned long cp =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            v.string += static_cast<char>(cp);  // writer emits < 0x20 only
+            break;
+          }
+          default:
+            throw Error("plan JSON: unsupported escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    return v;
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      Json key = string_value();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), value());
+      if (consume('}')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double as_number(const Json& v, const char* what) {
+  if (v.kind == Json::Kind::kNull) return 0.0;  // writer's non-finite
+  if (v.kind != Json::Kind::kNumber) {
+    throw Error(std::string("plan JSON: '") + what + "' is not a number");
+  }
+  return v.number;
+}
+
+std::uint64_t as_u64(const Json& v, const char* what) {
+  if (v.kind != Json::Kind::kNumber || !v.is_integer) {
+    throw Error(std::string("plan JSON: '") + what +
+                "' is not an unsigned integer");
+  }
+  return v.integer;
+}
+
+IndexId as_index(const Json& v, const IndexSpace& space,
+                 const char* what) {
+  if (v.kind == Json::Kind::kNull) return kNoIndex;
+  if (v.kind != Json::Kind::kString) {
+    throw Error(std::string("plan JSON: '") + what +
+                "' is not an index name");
+  }
+  return space.id(v.string);
+}
+
+Distribution as_dist(const Json& v, const IndexSpace& space,
+                     const char* what) {
+  if (v.kind != Json::Kind::kArray || v.array.size() != 2) {
+    throw Error(std::string("plan JSON: '") + what +
+                "' is not a two-position distribution");
+  }
+  return Distribution(as_index(v.array[0], space, what),
+                      as_index(v.array[1], space, what));
+}
+
+IndexSet as_indexset(const Json& v, const IndexSpace& space,
+                     const char* what) {
+  if (v.kind != Json::Kind::kArray) {
+    throw Error(std::string("plan JSON: '") + what + "' is not an array");
+  }
+  IndexSet s;
+  for (const Json& e : v.array) s.insert(as_index(e, space, what));
+  return s;
+}
+
+std::vector<IndexId> as_dims(const Json& v, const IndexSpace& space,
+                             const char* what) {
+  if (v.kind != Json::Kind::kArray) {
+    throw Error(std::string("plan JSON: '") + what + "' is not an array");
+  }
+  std::vector<IndexId> dims;
+  for (const Json& e : v.array) dims.push_back(as_index(e, space, what));
+  return dims;
+}
+
 }  // namespace
 
 std::string plan_to_json(const OptimizedPlan& plan,
@@ -83,6 +370,13 @@ std::string plan_to_json(const OptimizedPlan& plan,
                         plan.procs_per_node);
   out += std::string(",\"liveness_aware\":") +
          (plan.liveness_aware ? "true" : "false");
+  out += ",\"array_bytes_per_proc\":" +
+         std::to_string(plan.array_bytes_per_proc);
+  out += ",\"max_msg_bytes_per_proc\":" +
+         std::to_string(plan.max_msg_bytes_per_proc);
+  out += ",\"peak_live_bytes_per_proc\":" +
+         std::to_string(plan.peak_live_bytes_per_proc);
+  out += ",\"procs_per_node\":" + std::to_string(plan.procs_per_node);
   out += "}";
 
   out += ",\"steps\":[";
@@ -90,7 +384,8 @@ std::string plan_to_json(const OptimizedPlan& plan,
     const PlanStep& s = plan.steps[i];
     if (i != 0) out += ",";
     out += "{";
-    out += "\"result\":" + jstr(s.result_name);
+    out += "\"node\":" + std::to_string(s.node);
+    out += ",\"result\":" + jstr(s.result_name);
     out += std::string(",\"template\":") +
            (s.tmpl == StepTemplate::kReplicated ? "\"replicated\""
                                                 : "\"cannon\"");
@@ -99,6 +394,11 @@ std::string plan_to_json(const OptimizedPlan& plan,
     out += ",\"left_dist\":" + jdist(s.left_dist, space);
     out += ",\"right_dist\":" + jdist(s.right_dist, space);
     out += ",\"result_dist\":" + jdist(s.result_dist, space);
+    out += ",\"triplet\":[" + jindex(s.choice.i, space) + "," +
+           jindex(s.choice.j, space) + "," + jindex(s.choice.k, space) +
+           "]";
+    out += std::string(",\"transposed\":") +
+           (s.choice.transposed ? "true" : "false");
     out += ",\"rotation_index\":" +
            (s.tmpl == StepTemplate::kCannon && s.choice.rot != kNoIndex
                 ? jstr(space.name(s.choice.rot))
@@ -142,8 +442,127 @@ std::string plan_to_json(const OptimizedPlan& plan,
            (a.comm_final_s ? jnum(*a.comm_final_s) : std::string("null"));
     out += "}";
   }
-  out += "]}";
+  out += "]";
+
+  out += ",\"stats\":{";
+  out += "\"candidates\":" + std::to_string(plan.stats.candidates);
+  out += ",\"infeasible\":" + std::to_string(plan.stats.infeasible);
+  out += ",\"dominated\":" + std::to_string(plan.stats.dominated);
+  out += ",\"kept\":" + std::to_string(plan.stats.kept);
+  out += ",\"max_per_node\":" + std::to_string(plan.stats.max_per_node);
+  out += "}}";
   return out;
+}
+
+OptimizedPlan plan_from_json(const std::string& json,
+                             const ContractionTree& tree) {
+  const IndexSpace& space = tree.space();
+  const Json root = JsonReader(json).parse();
+  if (root.kind != Json::Kind::kObject) {
+    throw Error("plan JSON: top-level value is not an object");
+  }
+
+  OptimizedPlan plan;
+  plan.total_comm_s = as_number(root.at("total_comm_s"), "total_comm_s");
+  plan.total_compute_s =
+      as_number(root.at("total_compute_s"), "total_compute_s");
+
+  const Json& mem = root.at("memory");
+  plan.liveness_aware = mem.at("liveness_aware").boolean;
+  plan.array_bytes_per_proc =
+      as_u64(mem.at("array_bytes_per_proc"), "array_bytes_per_proc");
+  plan.max_msg_bytes_per_proc =
+      as_u64(mem.at("max_msg_bytes_per_proc"), "max_msg_bytes_per_proc");
+  plan.peak_live_bytes_per_proc = as_u64(mem.at("peak_live_bytes_per_proc"),
+                                         "peak_live_bytes_per_proc");
+  plan.procs_per_node = static_cast<std::uint32_t>(
+      as_u64(mem.at("procs_per_node"), "procs_per_node"));
+
+  for (const Json& js : root.at("steps").array) {
+    PlanStep s;
+    s.node = static_cast<NodeId>(as_u64(js.at("node"), "node"));
+    if (s.node < 0 || s.node >= static_cast<NodeId>(tree.size())) {
+      throw Error("plan JSON: step node " + std::to_string(s.node) +
+                  " is outside the tree");
+    }
+    s.result_name = js.at("result").string;
+    const std::string& tmpl = js.at("template").string;
+    if (tmpl == "cannon") {
+      s.tmpl = StepTemplate::kCannon;
+    } else if (tmpl == "replicated") {
+      s.tmpl = StepTemplate::kReplicated;
+    } else {
+      throw Error("plan JSON: unknown step template '" + tmpl + "'");
+    }
+    s.fusion = as_indexset(js.at("fusion"), space, "fusion");
+    s.effective_fused =
+        as_indexset(js.at("effective_fused"), space, "effective_fused");
+    s.left_dist = as_dist(js.at("left_dist"), space, "left_dist");
+    s.right_dist = as_dist(js.at("right_dist"), space, "right_dist");
+    s.result_dist = as_dist(js.at("result_dist"), space, "result_dist");
+    const Json& trip = js.at("triplet");
+    if (trip.kind != Json::Kind::kArray || trip.array.size() != 3) {
+      throw Error("plan JSON: 'triplet' is not a three-element array");
+    }
+    s.choice.i = as_index(trip.array[0], space, "triplet");
+    s.choice.j = as_index(trip.array[1], space, "triplet");
+    s.choice.k = as_index(trip.array[2], space, "triplet");
+    s.choice.transposed = js.at("transposed").boolean;
+    s.choice.rot = as_index(js.at("rotation_index"), space,
+                            "rotation_index");
+    s.replicate_right = js.at("replicate_right").boolean;
+    s.reduce_dim =
+        static_cast<int>(as_u64(js.at("reduce_dim"), "reduce_dim"));
+    const Json& comm = js.at("comm_s");
+    s.rot_left_s = as_number(comm.at("left"), "comm_s.left");
+    s.rot_right_s = as_number(comm.at("right"), "comm_s.right");
+    s.rot_result_s = as_number(comm.at("result"), "comm_s.result");
+    s.redist_left_s =
+        as_number(comm.at("redist_left"), "comm_s.redist_left");
+    s.redist_right_s =
+        as_number(comm.at("redist_right"), "comm_s.redist_right");
+    plan.steps.push_back(std::move(s));
+  }
+
+  for (const Json& ja : root.at("arrays").array) {
+    ArrayReport a;
+    a.full.name = ja.at("name").string;
+    a.full.dims = as_dims(ja.at("dims"), space, "dims");
+    a.reduced.name = a.full.name;
+    a.reduced.dims = as_dims(ja.at("reduced_dims"), space, "reduced_dims");
+    const std::string& kind = ja.at("kind").string;
+    a.is_input = kind == "input";
+    a.is_output = kind == "output";
+    if (const Json* d = ja.find("initial_dist");
+        d != nullptr && d->kind != Json::Kind::kNull) {
+      a.initial_dist = as_dist(*d, space, "initial_dist");
+    }
+    if (const Json* d = ja.find("final_dist");
+        d != nullptr && d->kind != Json::Kind::kNull) {
+      a.final_dist = as_dist(*d, space, "final_dist");
+    }
+    a.mem_per_node_bytes =
+        as_u64(ja.at("mem_per_node_bytes"), "mem_per_node_bytes");
+    if (const Json* c = ja.find("comm_initial_s");
+        c != nullptr && c->kind != Json::Kind::kNull) {
+      a.comm_initial_s = as_number(*c, "comm_initial_s");
+    }
+    if (const Json* c = ja.find("comm_final_s");
+        c != nullptr && c->kind != Json::Kind::kNull) {
+      a.comm_final_s = as_number(*c, "comm_final_s");
+    }
+    plan.arrays.push_back(std::move(a));
+  }
+
+  if (const Json* stats = root.find("stats"); stats != nullptr) {
+    plan.stats.candidates = as_u64(stats->at("candidates"), "candidates");
+    plan.stats.infeasible = as_u64(stats->at("infeasible"), "infeasible");
+    plan.stats.dominated = as_u64(stats->at("dominated"), "dominated");
+    plan.stats.kept = as_u64(stats->at("kept"), "kept");
+    plan.stats.max_per_node =
+        as_u64(stats->at("max_per_node"), "max_per_node");
+  }
+  return plan;
 }
 
 }  // namespace tce

@@ -88,15 +88,19 @@ class IndexSet {
   constexpr std::size_t count() const noexcept {
     return static_cast<std::size_t>(__builtin_popcountll(bits_));
   }
+  /// False for out-of-range ids — in particular kNoIndex, which callers
+  /// routinely pass for unassigned distribution positions.
   constexpr bool contains(IndexId id) const noexcept {
-    return (bits_ >> id) & 1u;
+    return id < kMaxIndices && ((bits_ >> id) & 1u) != 0;
   }
 
   void insert(IndexId id) {
     TCE_EXPECTS(id < kMaxIndices);
     bits_ |= std::uint64_t{1} << id;
   }
-  void erase(IndexId id) noexcept { bits_ &= ~(std::uint64_t{1} << id); }
+  void erase(IndexId id) noexcept {
+    if (id < kMaxIndices) bits_ &= ~(std::uint64_t{1} << id);
+  }
 
   constexpr std::uint64_t bits() const noexcept { return bits_; }
 

@@ -81,6 +81,26 @@ TEST(Cli, PlanWithPseudocodeAndLimit) {
   EXPECT_NE(r.output.find("cannon"), std::string::npos);
 }
 
+TEST(Cli, PlanVerifyAcceptsOptimizerOutput) {
+  TempFile f("cli_verify.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--mem-limit",
+                         "4GB", "--verify"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("total communication"), std::string::npos);
+}
+
+TEST(Cli, PlanVerifyCoversForests) {
+  TempFile f("cli_verify_forest.tce", R"(
+    index a, b, c = 64
+    index i, j = 32
+    X[a,b] = sum[i] P[a,i] * Q[i,b]
+    Y[a,c] = sum[j] U[a,j] * R[j,c]
+  )");
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--verify"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("output X"), std::string::npos);
+}
+
 TEST(Cli, PlanInfeasibleReturnsCode2) {
   TempFile f("cli_small3.tce", kSmallProgram);
   CliResult r = run_cli(

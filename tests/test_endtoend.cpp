@@ -11,6 +11,7 @@
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/expr/parser.hpp"
+#include "tce/verify/verifier.hpp"
 
 namespace tce {
 namespace {
@@ -49,6 +50,11 @@ TEST_P(EndToEnd, PlanExecutesCorrectly) {
   OptimizerConfig cfg;
   cfg.enable_replication_template = (GetParam() % 2) == 1;
   OptimizedPlan plan = optimize(tree, model, cfg);
+
+  // Before executing, the independent verifier must accept the plan.
+  const VerifyReport report = verify_plan(tree, model, plan);
+  EXPECT_TRUE(report.ok()) << report.str(tree);
+  EXPECT_TRUE(report.diagnostics.empty()) << report.str(tree);
 
   std::map<NodeId, ExecChoice> exec;
   for (const PlanStep& s : plan.steps) {

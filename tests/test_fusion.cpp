@@ -62,9 +62,62 @@ TEST(FusableIndices, PaperTreeEdges) {
   }
 }
 
+TEST(FusableIndices, ReduceChainEdges) {
+  // Through a reduce node the parent's loop nest shrinks to the reduce's
+  // own indices, restricting what the grandchild chain can fuse.
+  ContractionTree t = ContractionTree::from_sequence(parse_formula_sequence(R"(
+    index i, j, k, l = 16
+    V[j,k] = sum[i] A[i,j,k]
+    W[l] = sum[j,k] V[j,k] * B[j,k,l]
+  )"));
+  const IndexSpace& sp = t.space();
+  NodeId v = kNoNode;
+  for (NodeId id : t.post_order()) {
+    if (t.node(id).tensor.name == "V") v = id;
+  }
+  ASSERT_NE(v, kNoNode);
+  ASSERT_EQ(t.node(v).kind, ContractionNode::Kind::kReduce);
+  // V's dims {j,k} both appear in W's loop nest {j,k,l}.
+  EXPECT_EQ(fusable_indices(t, v),
+            IndexSet::of({sp.id("j"), sp.id("k")}));
+  // The reduce's input leaf is still unfusable.
+  EXPECT_TRUE(fusable_indices(t, t.node(v).left).empty());
+}
+
+TEST(FusableIndices, BareReduceRootAndLeaf) {
+  ContractionTree t = ContractionTree::from_sequence(
+      parse_formula_sequence("index i, j = 8\nS[j] = sum[i] A[i,j]"));
+  EXPECT_TRUE(fusable_indices(t, t.root()).empty());
+  for (NodeId leaf : t.leaves()) {
+    EXPECT_TRUE(fusable_indices(t, leaf).empty());
+  }
+}
+
 TEST(NestingRule, MaterializedChildIsAlwaysOk) {
   EXPECT_TRUE(fusion_nesting_ok(IndexSet::of({1, 2}), IndexSet(),
                                 IndexSet::of({1, 2, 3})));
+  // Even when the child's loop nest is disjoint from the parent fusion.
+  EXPECT_TRUE(fusion_nesting_ok(IndexSet::of({1, 2}), IndexSet(),
+                                IndexSet::of({4, 5})));
+}
+
+TEST(NestingRule, EmptyParentFusionNeverConstrains) {
+  EXPECT_TRUE(fusion_nesting_ok(IndexSet(), IndexSet::single(2),
+                                IndexSet::of({1, 2, 3})));
+  EXPECT_TRUE(fusion_nesting_ok(IndexSet(), IndexSet(), IndexSet()));
+}
+
+TEST(NestingRule, AllParentFusedLoopsOutsideChildNest) {
+  // Parent fuses {7, 8}; the child's loops are {1, 2, 3}.  No parent
+  // loop spans the child, so any child fusion is legal.
+  EXPECT_TRUE(fusion_nesting_ok(IndexSet::of({7, 8}),
+                                IndexSet::single(1),
+                                IndexSet::of({1, 2, 3})));
+  // As soon as one parent loop (2) enters the child's nest unfused, the
+  // child would be recomputed per iteration.
+  EXPECT_FALSE(fusion_nesting_ok(IndexSet::of({2, 7}),
+                                 IndexSet::single(1),
+                                 IndexSet::of({1, 2, 3})));
 }
 
 TEST(NestingRule, FusedChildMustCoverSharedLoops) {
