@@ -33,7 +33,8 @@ Outcome run(const ContractionTree& tree, const MachineModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOutput out("baselines", argc, argv);
   heading("Strategy comparison — 16 processors, 4 GB/node, paper workload");
 
   ContractionTree tree = paper_tree();
@@ -48,6 +49,16 @@ int main() {
   const Outcome best = run(tree, model, integrated);
   table.add_row({"integrated fusion+distribution DP (this paper)", "yes",
                  fixed(best.comm, 1), "1.00x"});
+  auto emit = [&](const char* strategy, const Outcome& o) {
+    json::ObjectWriter fields;
+    fields.field("strategy", strategy).field("feasible", o.feasible);
+    if (o.feasible) {
+      fields.field("comm_s", o.comm)
+          .field("vs_integrated", o.comm / best.comm);
+    }
+    out.row(fields);
+  };
+  emit("integrated", best);
 
   {
     // Strategy A: distribute first (comm-optimal, unfused), then try to
@@ -61,6 +72,7 @@ int main() {
                    o.feasible ? "yes" : "NO",
                    o.feasible ? fixed(o.comm, 1) : "-",
                    o.feasible ? fixed(o.comm / best.comm, 2) + "x" : "-"});
+    emit("distribute_first", o);
   }
   {
     // Strategy B: fuse first for minimal memory (prior work), then
@@ -76,6 +88,7 @@ int main() {
                    o.feasible ? "yes" : "NO",
                    o.feasible ? fixed(o.comm, 1) : "-",
                    o.feasible ? fixed(o.comm / best.comm, 2) + "x" : "-"});
+    emit("fuse_first", o);
   }
   {
     // Ablation: integrated search without redistribution between steps.
@@ -87,6 +100,7 @@ int main() {
                    o.feasible ? "yes" : "NO",
                    o.feasible ? fixed(o.comm, 1) : "-",
                    o.feasible ? fixed(o.comm / best.comm, 2) + "x" : "-"});
+    emit("no_redistribution", o);
   }
   {
     // Reference point: unlimited memory (64-proc-style plan at P=16).
@@ -94,6 +108,7 @@ int main() {
     const Outcome o = run(tree, model, cfg);
     table.add_row({"no memory limit (reference lower bound)", "yes",
                    fixed(o.comm, 1), fixed(o.comm / best.comm, 2) + "x"});
+    emit("unlimited_memory", o);
   }
 
   std::printf("%s\n", table.str().c_str());
@@ -103,5 +118,6 @@ int main() {
       "memory-minimal fused\nform leaves nothing to distribute.  Only "
       "the integrated search finds the\nfeasible middle ground "
       "(fuse exactly the f loop).\n");
+  out.finish();
   return 0;
 }

@@ -26,9 +26,10 @@ constexpr const char* kCcd = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  BenchOutput out("ccd", argc, argv);
 
   heading("CCD doubles residual (4 terms) — forest optimization");
 
@@ -62,15 +63,26 @@ int main() {
         std::vector<std::string> row{std::to_string(procs),
                                      fixed(gb, 0) + " GB",
                                      repl ? "yes" : "no"};
+        json::ObjectWriter fields;
+        fields.field("procs", procs)
+            .field("mem_limit_bytes", cfg.mem_limit_node_bytes)
+            .field("replication", repl);
         try {
           ForestPlan plan = optimize_forest(forest, model, cfg);
           row.push_back(fixed(plan.total_comm_s, 1));
           row.push_back(fixed(plan.total_runtime_s(), 1));
           row.push_back(fixed(100 * plan.comm_fraction(), 1));
           row.push_back(format_bytes_paper(plan.bytes_per_node));
+          fields.field("feasible", true)
+              .field("comm_s", plan.total_comm_s)
+              .field("runtime_s", plan.total_runtime_s())
+              .field("comm_fraction", plan.comm_fraction())
+              .field("mem_per_node_bytes", plan.bytes_per_node);
         } catch (const InfeasibleError&) {
           row.insert(row.end(), {"INFEASIBLE", "-", "-", "-"});
+          fields.field("feasible", false);
         }
+        out.row(fields);
         table.add_row(std::move(row));
       }
     }
@@ -95,5 +107,6 @@ int main() {
   std::printf("dominant term (%s) at 16 procs / 16 GB:\n%s\n",
               tree.node(tree.root()).tensor.name.c_str(),
               plan.plans[biggest].table(tree.space()).c_str());
+  out.finish();
   return 0;
 }

@@ -13,7 +13,7 @@
 
 namespace {
 
-void show(std::uint32_t procs) {
+void show(std::uint32_t procs, tce::bench::BenchOutput& out) {
   using namespace tce;
   using namespace tce::bench;
 
@@ -43,12 +43,20 @@ void show(std::uint32_t procs) {
       "  118MB  rotation:  %s s (Table 2's unfused A/T2 rotation)\n\n",
       fixed(model.rotate_cost(55'296'000, 1), 2).c_str(),
       fixed(model.rotate_cost(117'964'800, 1), 2).c_str());
+
+  out.row(json::ObjectWriter()
+              .field("procs", procs)
+              .field("samples", bytes.size())
+              .field("rotate_55mb_s", model.rotate_cost(55'296'000, 1))
+              .field("rotate_118mb_s", model.rotate_cost(117'964'800, 1)));
 }
 
 }  // namespace
 
-int main() {
-  show(64);
-  show(16);
+int main(int argc, char** argv) {
+  tce::bench::BenchOutput out("characterize", argc, argv);
+  show(64, out);
+  show(16, out);
+  out.finish();
   return 0;
 }

@@ -5,14 +5,19 @@
 /// figure; see DESIGN.md's per-experiment index.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
 
 #include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
 #include "tce/common/strings.hpp"
 #include "tce/common/units.hpp"
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/expr/parser.hpp"
+#include "tce/obs/metrics.hpp"
 
 namespace tce::bench {
 
@@ -37,5 +42,67 @@ inline ContractionTree paper_tree() {
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
+
+/// Machine-readable bench output (the `tce-bench/1` schema; see
+/// docs/FORMATS.md).  Construct at the top of main with argc/argv: a
+/// `--json <file>` pair is consumed (removed from argv) and turns the
+/// emitter on, which also enables the metrics registry so the document
+/// carries the run's counters.  Call row() once per result row with
+/// bench-specific flat fields, and finish() before returning.
+///
+/// Without --json the class is inert: the human tables remain the only
+/// output and the metrics registry stays off.
+class BenchOutput {
+ public:
+  BenchOutput(std::string bench, int& argc, char** argv)
+      : bench_(std::move(bench)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --json needs a file argument\n");
+          std::exit(2);
+        }
+        path_ = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        break;
+      }
+    }
+    if (enabled()) {
+      obs::metrics_reset();
+      obs::metrics_enable(true);
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends one result row (ignored when not enabled).
+  void row(const json::ObjectWriter& fields) {
+    if (enabled()) rows_.element(fields.str());
+  }
+
+  /// Writes the document.  Exits the process with an error when the
+  /// output file cannot be written, so CI catches a bad --json path.
+  void finish() {
+    if (!enabled()) return;
+    json::ObjectWriter doc;
+    doc.field("schema", "tce-bench/1");
+    doc.field("bench", bench_);
+    doc.raw("rows", rows_.str());
+    doc.raw("metrics", obs::metrics_json());
+    std::ofstream out(path_);
+    out << doc.str() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path_.c_str());
+      std::exit(2);
+    }
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  json::ArrayWriter rows_;
+};
 
 }  // namespace tce::bench

@@ -8,9 +8,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  BenchOutput out("liveness", argc, argv);
 
   heading("Memory accounting ablation — 16 processors, paper workload");
 
@@ -40,13 +41,19 @@ int main() {
     live.liveness_aware = true;
 
     std::vector<std::string> row{fixed(gb, 1) + " GB"};
+    json::ObjectWriter fields;
+    fields.field("mem_limit_bytes", summed.mem_limit_node_bytes);
     try {
       OptimizedPlan p = optimize(tree, model, summed);
       row.push_back(fixed(p.total_comm_s, 1));
       row.push_back(fused_of(p));
+      fields.field("summed_feasible", true)
+          .field("summed_comm_s", p.total_comm_s)
+          .field("summed_fused", fused_of(p));
     } catch (const InfeasibleError&) {
       row.push_back("-");
       row.push_back("INFEASIBLE");
+      fields.field("summed_feasible", false);
     }
     try {
       OptimizedPlan p = optimize(tree, model, live);
@@ -54,11 +61,18 @@ int main() {
       row.push_back(fused_of(p));
       row.push_back(format_bytes_paper(
           p.peak_live_bytes_per_proc * p.procs_per_node));
+      fields.field("live_feasible", true)
+          .field("live_comm_s", p.total_comm_s)
+          .field("live_fused", fused_of(p))
+          .field("live_peak_node_bytes",
+                 p.peak_live_bytes_per_proc * p.procs_per_node);
     } catch (const InfeasibleError&) {
       row.push_back("-");
       row.push_back("INFEASIBLE");
       row.push_back("-");
+      fields.field("live_feasible", false);
     }
+    out.row(fields);
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.str().c_str());
@@ -68,5 +82,6 @@ int main() {
       "plan feasible down to 1.6 GB/node\nwhere the summed model must "
       "over-fuse, and admits the unfused plan in the\n8.6-8.8 GB window "
       "where only the dead output separates the two models.\n");
+  out.finish();
   return 0;
 }

@@ -8,9 +8,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  BenchOutput out("memsweep", argc, argv);
 
   heading("Memory-limit sweep — 16 processors (8 nodes), paper workload");
 
@@ -28,6 +29,8 @@ int main() {
         static_cast<std::uint64_t>(gb * 1'000'000'000.0);
     const std::string label =
         gb == 0.0 ? "unlimited" : (fixed(gb, 1) + " GB");
+    json::ObjectWriter fields;
+    fields.field("mem_limit_bytes", cfg.mem_limit_node_bytes);
     try {
       OptimizedPlan plan = optimize(tree, model, cfg);
       std::string fused;
@@ -41,9 +44,16 @@ int main() {
       table.add_row({label, "yes", fused, fixed(plan.total_comm_s, 1),
                      fixed(100 * plan.comm_fraction(), 1),
                      format_bytes_paper(plan.bytes_per_node())});
+      fields.field("feasible", true)
+          .field("fused", fused)
+          .field("comm_s", plan.total_comm_s)
+          .field("comm_fraction", plan.comm_fraction())
+          .field("mem_per_node_bytes", plan.bytes_per_node());
     } catch (const InfeasibleError&) {
       table.add_row({label, "NO", "-", "-", "-", "-"});
+      fields.field("feasible", false);
     }
+    out.row(fields);
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(
@@ -51,5 +61,6 @@ int main() {
       "unnecessary;\nbelow that, T1 must shrink (fuse f, then more), "
       "raising communication; below the\ninput-array footprint no plan "
       "exists.\n");
+  out.finish();
   return 0;
 }

@@ -126,6 +126,37 @@ void BM_Characterize(benchmark::State& state) {
 }
 BENCHMARK(BM_Characterize)->Arg(16)->Arg(64);
 
+/// Console reporter that also copies each run into the --json document
+/// (google-benchmark's own --benchmark_out is a different schema; this
+/// keeps all bench binaries on tce-bench/1).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(BenchOutput& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      out_.row(json::ObjectWriter()
+                   .field("name", r.benchmark_name())
+                   .field("iterations", r.iterations)
+                   .field("real_time_ns", r.GetAdjustedRealTime())
+                   .field("cpu_time_ns", r.GetAdjustedCPUTime()));
+    }
+  }
+
+ private:
+  BenchOutput& out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  BenchOutput out("micro", argc, argv);  // strips --json before gbench
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter(out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  out.finish();
+  return 0;
+}

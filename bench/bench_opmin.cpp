@@ -8,9 +8,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  BenchOutput out("opmin", argc, argv);
 
   heading("Operation minimization — §2 examples");
 
@@ -26,6 +27,13 @@ int main() {
           OpMinInput::from_statement(p.statements[0]), p.space);
       const bool saturated =
           r.naive_flops == std::numeric_limits<std::uint64_t>::max();
+      json::ObjectWriter fields;
+      fields.field("example", "4-factor NWChem")
+          .field("n", n)
+          .field("naive_saturated", saturated)
+          .field("optimal_flops", r.flops);
+      if (!saturated) fields.field("naive_flops", r.naive_flops);
+      out.row(fields);
       table.add_row({std::to_string(n),
                      saturated ? ">1.8e19 (saturated)"
                                : std::to_string(r.naive_flops),
@@ -52,6 +60,11 @@ int main() {
         OpMinInput::from_statement(p.statements[0]), p.space);
     std::printf("  optimal flops: %.3e (naive saturates >1.8e19)\n",
                 static_cast<double>(r.flops));
+    out.row(json::ObjectWriter()
+                .field("example", "paper extents")
+                .field("optimal_flops", r.flops)
+                .field("largest_intermediate_elems",
+                       r.largest_intermediate));
     std::printf("  largest intermediate: %.3e elements (T1's 55.3 GB)\n",
                 static_cast<double>(r.largest_intermediate));
     std::printf("  recovered formula sequence (cf. Fig. 2(a)):\n%s\n",
@@ -75,6 +88,11 @@ int main() {
                 static_cast<unsigned long long>(r.flops));
     std::printf("  recovered formula sequence (cf. Fig. 1(a)):\n%s\n",
                 r.sequence.str().c_str());
+    out.row(json::ObjectWriter()
+                .field("example", "fig1")
+                .field("naive_flops", r.naive_flops)
+                .field("optimal_flops", r.flops));
   }
+  out.finish();
   return 0;
 }

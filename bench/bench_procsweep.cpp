@@ -7,9 +7,10 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  BenchOutput out("procsweep", argc, argv);
 
   heading("Processor-count sweep — 4 GB/node, paper workload");
 
@@ -39,6 +40,14 @@ int main() {
                    fixed(plan.total_runtime_s(), 1),
                    fixed(100 * plan.comm_fraction(), 1),
                    format_bytes_paper(plan.bytes_per_node())});
+    out.row(json::ObjectWriter()
+                .field("procs", procs)
+                .field("nodes", model.grid().nodes())
+                .field("fused", fused)
+                .field("comm_s", plan.total_comm_s)
+                .field("runtime_s", plan.total_runtime_s())
+                .field("comm_fraction", plan.comm_fraction())
+                .field("mem_per_node_bytes", plan.bytes_per_node()));
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(
@@ -46,5 +55,6 @@ int main() {
       "more loop fusions\nare necessary to keep the problem in the "
       "available memory, resulting in higher\ncommunication costs\" "
       "(7.0%% at 64 procs vs 27.3%% at 16 procs).\n");
+  out.finish();
   return 0;
 }

@@ -10,9 +10,10 @@
 #include "bench_common.hpp"
 #include "tce/verify/verifier.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  BenchOutput out("table1", argc, argv);
 
   heading("Table 1 — 64 processors (32 nodes), 4 GB/node");
 
@@ -47,5 +48,17 @@ int main() {
     std::printf("%s", report.str(tree).c_str());
     return 1;
   }
+
+  out.row(json::ObjectWriter()
+              .field("scenario", "paper table 1")
+              .field("procs", 64)
+              .field("mem_limit_bytes", kNodeLimit4GB)
+              .field("comm_s", plan.total_comm_s)
+              .field("runtime_s", plan.total_runtime_s())
+              .field("comm_fraction", plan.comm_fraction())
+              .field("mem_per_node_bytes", plan.bytes_per_node())
+              .field("buffer_per_node_bytes", plan.buffer_bytes_per_node())
+              .field("verifier_rules_checked", report.rules_checked));
+  out.finish();
   return 0;
 }

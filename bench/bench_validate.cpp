@@ -28,7 +28,8 @@ constexpr const char* kScaledProgram = R"(
   S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
 )";
 
-void predicted_vs_simulated(const char* title, const char* program,
+void predicted_vs_simulated(BenchOutput& out, const char* scenario,
+                            const char* title, const char* program,
                             std::uint32_t procs, std::uint64_t limit,
                             bool replication = false) {
   heading(title);
@@ -63,9 +64,18 @@ void predicted_vs_simulated(const char* title, const char* program,
                            : 0.0,
                        1) + "%"});
   std::printf("%s\n", table.str().c_str());
+  out.row(json::ObjectWriter()
+              .field("scenario", scenario)
+              .field("procs", procs)
+              .field("predicted_s", pred_total)
+              .field("simulated_s", sim_total)
+              .field("error_pct",
+                     sim_total > 0
+                         ? 100.0 * (pred_total - sim_total) / sim_total
+                         : 0.0));
 }
 
-void numeric_validation() {
+void numeric_validation(BenchOutput& out) {
   heading("Numeric validation — scaled workload executed by the "
           "distributed Cannon engine");
   ContractionTree tree = ContractionTree::from_sequence(
@@ -86,6 +96,13 @@ void numeric_validation() {
 
   std::printf("max |distributed - reference| = %.3e  (%s)\n", diff,
               diff < 1e-8 ? "PASS" : "FAIL");
+  out.row(json::ObjectWriter()
+              .field("scenario", "numeric validation")
+              .field("max_abs_diff", diff)
+              .field("pass", diff < 1e-8)
+              .field("executed_comm_s", run.timing.comm_s)
+              .field("executed_compute_s", run.timing.compute_s)
+              .field("predicted_comm_s", plan.total_comm_s));
   std::printf("simulated execution: comm %.2f s, compute %.2f s\n",
               run.timing.comm_s, run.timing.compute_s);
   std::printf("optimizer predicted: comm %.2f s\n", plan.total_comm_s);
@@ -98,17 +115,22 @@ void numeric_validation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchOutput out("validate", argc, argv);
   predicted_vs_simulated(
+      out, "64 procs, unfused",
       "Predicted vs simulated — paper workload, 64 procs, unfused",
       kPaperProgram, 64, kNodeLimit4GB);
   predicted_vs_simulated(
+      out, "16 procs, fused",
       "Predicted vs simulated — paper workload, 16 procs, fused",
       kPaperProgram, 16, kNodeLimit4GB);
   predicted_vs_simulated(
+      out, "16 procs, replication",
       "Predicted vs simulated — 16 procs, replicate-compute-reduce "
       "template",
       kPaperProgram, 16, kNodeLimit4GB, /*replication=*/true);
-  numeric_validation();
+  numeric_validation(out);
+  out.finish();
   return 0;
 }

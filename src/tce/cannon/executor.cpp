@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/obs/trace.hpp"
 #include "tce/tensor/matmul.hpp"
 
 namespace tce {
@@ -79,6 +82,22 @@ CannonRunResult run_cannon(const Network& net, const ProcGrid& grid,
   TCE_EXPECTS(net.spec().procs() == grid.procs);
 
   const std::uint32_t e = grid.edge;
+  const obs::TraceSpan run_span(
+      obs::trace_enabled() ? "cannon.run " + node.tensor.name
+                           : std::string(),
+      "cannon");
+  obs::count("cannon.runs");
+  obs::count("cannon.steps", e);
+  if (obs::trace_enabled()) {
+    // The initial skewed alignment (blocks are extracted pre-aligned to
+    // their step-0 triple — Cannon's skew).
+    obs::trace_instant(
+        "cannon.skew " + node.tensor.name, "cannon",
+        json::ObjectWriter()
+            .field("rotation_index", space.name(choice.rot))
+            .field("transposed", choice.transposed)
+            .str());
+  }
   // Physical rank of logical processor (w1, w2): the transposed
   // orientation swaps the grid dimensions.
   auto phys = [&](std::uint32_t w1, std::uint32_t w2) {
@@ -147,6 +166,11 @@ CannonRunResult run_cannon(const Network& net, const ProcGrid& grid,
 
   for (std::uint32_t s = 0; s < e; ++s) {
     Phase phase;
+    if (obs::trace_enabled()) {
+      phase.label = node.tensor.name + " rotate step " +
+                    std::to_string(s) + " (rot " +
+                    space.name(choice.rot) + ")";
+    }
     for (std::uint32_t w1 = 0; w1 < e; ++w1) {
       for (std::uint32_t w2 = 0; w2 < e; ++w2) {
         const std::size_t p = static_cast<std::size_t>(w1) * e + w2;
@@ -242,6 +266,11 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
   }
   TCE_EXPECTS(net.spec().procs() == grid.procs);
   const std::uint32_t e = grid.edge;
+  const obs::TraceSpan run_span(
+      obs::trace_enabled() ? "replicated.run " + node.tensor.name
+                           : std::string(),
+      "cannon");
+  obs::count("cannon.replicated_runs");
 
   const DenseTensor& stat_full =
       spec.replicate_right ? left_full : right_full;
@@ -274,6 +303,10 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
         std::max<std::uint64_t>(total / grid.procs, 1);
     for (std::uint32_t dist = 1; dist < grid.procs; dist *= 2) {
       Phase phase;
+      if (obs::trace_enabled()) {
+        phase.label = node.tensor.name + " allgather (distance " +
+                      std::to_string(dist) + ")";
+      }
       for (std::uint32_t r = 0; r < grid.procs; ++r) {
         if ((r ^ dist) < grid.procs) {
           phase.flows.push_back({r, r ^ dist, block * dist});
@@ -300,6 +333,9 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
   out.result = make_tensor(node.tensor, space);
   std::uint64_t peak = 0;
   Phase compute_phase;
+  if (obs::trace_enabled()) {
+    compute_phase.label = node.tensor.name + " compute";
+  }
   const int split_dims =
       (spec.stationary_dist.at(1) != kNoIndex ? 1 : 0) +
       (spec.stationary_dist.at(2) != kNoIndex ? 1 : 0);
@@ -364,6 +400,10 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
     };
     for (std::uint32_t dist = e / 2; dist >= 1; dist /= 2) {
       Phase phase;
+      if (obs::trace_enabled()) {
+        phase.label = node.tensor.name + " reduce-scatter (distance " +
+                      std::to_string(dist) + ")";
+      }
       for (std::uint32_t line = 0; line < e; ++line) {
         for (std::uint32_t pos = 0; pos < e; ++pos) {
           phase.flows.push_back({rank_in_line(line, pos),

@@ -13,6 +13,8 @@
 #include "tce/common/units.hpp"
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/obs/trace.hpp"
 #include "tce/opmin/opmin.hpp"
 #include "tce/verify/verifier.hpp"
 
@@ -40,6 +42,14 @@ usage:
         --liveness           liveness-aware memory accounting (extension)
         --pseudocode         also print the generated program
         --json               print the plan as JSON instead of tables
+        --stats              also print search statistics (candidates,
+                             pruned, kept, per-node effort) and the
+                             metrics registry (docs/OBSERVABILITY.md)
+        --trace FILE         write a Chrome/Perfetto trace-event JSON
+                             timeline of the run (DP node spans, simnet
+                             phases and flows); open at
+                             https://ui.perfetto.dev
+                             (env: TCE_TRACE=FILE does the same)
         --verify             round-trip each plan through the JSON codec
                              and re-check every invariant with the
                              independent verifier; fails (exit 1) with
@@ -55,7 +65,8 @@ usage:
       Optimize (single-tree programs) and compare the predicted
       communication cost against a brute-force flow simulation of the
       plan on the simulated cluster.  Accepts the same options as plan
-      (except --machine: validation needs the simulator itself).
+      (except --machine: validation needs the simulator itself);
+      --trace FILE records the simulated flows as a timeline.
 
   tcemin characterize [options]
       Measure a simulated cluster and print a characterization file.
@@ -153,6 +164,24 @@ CharacterizedModel load_or_measure(Args& args, std::uint32_t procs,
   return CharacterizedModel(characterize(net, grid));
 }
 
+/// `--trace FILE`: starts the trace emitter for the command's scope and
+/// writes the file when the command finishes (including on error).
+/// Does not interfere with a TCE_TRACE env capture already running.
+class TraceGuard {
+ public:
+  explicit TraceGuard(const std::string& path) : started_(!path.empty()) {
+    if (started_) obs::trace_start(path);
+  }
+  ~TraceGuard() {
+    if (started_) obs::trace_stop();
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  bool started_;
+};
+
 /// `--verify`: exports \p plan to JSON, reads it back, and re-derives
 /// every invariant.  The round trip is deliberate — it checks the codec
 /// is lossless for every verifier-checked field, not just the in-memory
@@ -185,6 +214,12 @@ std::string cmd_plan(Args args) {
   const bool json = args.take_flag("--json");
   const bool verify = args.take_flag("--verify");
   const bool opmin = args.take_flag("--opmin");
+  const bool stats = args.take_flag("--stats");
+  const TraceGuard trace(args.take_option("--trace", ""));
+  if (stats) {
+    obs::metrics_reset();
+    obs::metrics_enable(true);
+  }
   CharacterizedModel model = load_or_measure(args, procs, per_node);
   args.expect_empty();
 
@@ -214,6 +249,10 @@ std::string cmd_plan(Args args) {
     if (json) return plan_to_json(plan, tree.space()) + "\n";
     std::string out = plan.table(tree.space()) + "\n" +
                       plan.summary(tree.space());
+    if (stats) {
+      out += "\n" + plan.stats.str();
+      out += "metrics:\n" + obs::metrics_table();
+    }
     if (pseudocode) {
       out += "\n" + generate_pseudocode(tree, plan);
     }
@@ -254,6 +293,14 @@ std::string cmd_plan(Args args) {
          "% communication)\n";
   out += "memory per node:     " + format_bytes_paper(fp.bytes_per_node) +
          "\n";
+  if (stats) {
+    for (std::size_t t = 0; t < forest.trees.size(); ++t) {
+      out += "\noutput " +
+             forest.trees[t].node(forest.trees[t].root()).tensor.name +
+             " " + fp.plans[t].stats.str();
+    }
+    out += "metrics:\n" + obs::metrics_table();
+  }
   return out;
 }
 
@@ -291,6 +338,7 @@ std::string cmd_validate(Args args) {
   const bool replication = args.take_flag("--replication");
   const bool liveness = args.take_flag("--liveness");
   const bool opmin = args.take_flag("--opmin");
+  const TraceGuard trace(args.take_option("--trace", ""));
   args.expect_empty();
 
   const ProcGrid grid = ProcGrid::make(procs, per_node);

@@ -1,0 +1,272 @@
+#include "tce/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tce/common/error.hpp"
+
+namespace tce::json {
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw Error("JSON: missing key '" + key + "'");
+  return *v;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // 17 significant digits: doubles survive the round trip exactly.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+ObjectWriter& ObjectWriter::raw(std::string_view key,
+                                std::string_view json) {
+  if (!body_.empty()) body_ += ",";
+  body_ += quote(std::string(key)) + ":";
+  body_ += json;
+  return *this;
+}
+
+ArrayWriter& ArrayWriter::element(std::string_view json) {
+  if (!body_.empty()) body_ += ",";
+  body_ += json;
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent parser (see file comment in json.hpp).
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw Error("JSON: trailing characters at offset " +
+                  std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw Error("JSON: unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw Error(std::string("JSON: expected '") + c + "' at offset " +
+                  std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return Value{};
+      default:
+        return number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        throw Error("JSON: bad literal at offset " + std::to_string(pos_));
+      }
+      ++pos_;
+    }
+  }
+
+  Value boolean() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (text_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    bool floating = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                 c == '-') {
+        floating = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      throw Error("JSON: bad number at offset " + std::to_string(start));
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(tok.c_str(), nullptr);
+    if (!floating && tok[0] != '-') {
+      v.is_integer = true;
+      v.integer = std::strtoull(tok.c_str(), nullptr, 10);
+    }
+    return v;
+  }
+
+  Value string_value() {
+    expect('"');
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw Error("JSON: unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          throw Error("JSON: unterminated escape");
+        }
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            v.string += '"';
+            break;
+          case '\\':
+            v.string += '\\';
+            break;
+          case 'n':
+            v.string += '\n';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw Error("JSON: bad \\u escape");
+            }
+            const unsigned long cp =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            v.string += static_cast<char>(cp);  // writers emit < 0x20 only
+            break;
+          }
+          default:
+            throw Error("JSON: unsupported escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    return v;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      Value key = string_value();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), value());
+      if (consume('}')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Reader(text).parse(); }
+
+}  // namespace tce::json

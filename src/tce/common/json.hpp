@@ -1,0 +1,97 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON value, parser and writing helpers shared by every
+/// machine-readable surface of the project: the plan codec
+/// (tce/core/plan_json.hpp), the trace-event emitter (tce/obs/trace.hpp)
+/// and the benchmark `--json` output (bench/bench_common.hpp).
+///
+/// The parser is a strict recursive-descent reader over the subset of
+/// JSON our writers emit (which is all of JSON minus \uXXXX escapes
+/// beyond control characters).  Integers keep their exact uint64
+/// representation alongside the double so byte counts round-trip
+/// losslessly.  The writer helpers render escaped strings and
+/// shortest-lossless doubles; ObjectWriter/ArrayWriter compose nested
+/// documents without an intermediate DOM.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tce::json {
+
+/// A parsed JSON value.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::uint64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+  /// Object member lookup; throws tce::Error when absent.
+  const Value& at(const std::string& key) const;
+};
+
+/// Parses one JSON document; throws tce::Error on malformed input or
+/// trailing characters.
+Value parse(const std::string& text);
+
+/// Renders \p s as a quoted, escaped JSON string literal.
+std::string quote(const std::string& s);
+
+/// Renders a double with 17 significant digits (lossless round trip);
+/// non-finite values render as null.
+std::string number(double v);
+
+/// Builds one JSON object incrementally.  Values are rendered on
+/// insertion, so the writer holds only the growing text.
+class ObjectWriter {
+ public:
+  /// Arithmetic fields: integrals render exactly, floating point via
+  /// number(), bool as true/false.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  ObjectWriter& field(std::string_view key, T v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return raw(key, v ? "true" : "false");
+    } else if constexpr (std::is_integral_v<T>) {
+      return raw(key, std::to_string(v));
+    } else {
+      return raw(key, number(static_cast<double>(v)));
+    }
+  }
+  ObjectWriter& field(std::string_view key, const std::string& v) {
+    return raw(key, quote(v));
+  }
+  ObjectWriter& field(std::string_view key, const char* v) {
+    return raw(key, quote(v));
+  }
+  /// Inserts \p json verbatim (a pre-rendered value).
+  ObjectWriter& raw(std::string_view key, std::string_view json);
+
+  /// The rendered object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Builds one JSON array of pre-rendered elements.
+class ArrayWriter {
+ public:
+  ArrayWriter& element(std::string_view json);
+  std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  std::string body_;
+};
+
+}  // namespace tce::json

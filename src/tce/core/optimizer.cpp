@@ -4,8 +4,13 @@
 #include <limits>
 
 #include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
+#include "tce/common/timer.hpp"
+#include "tce/costmodel/characterization.hpp"
 #include "tce/costmodel/rotate_cost.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/obs/trace.hpp"
 #include "tce/verify/verifier.hpp"
 
 namespace tce {
@@ -135,18 +140,77 @@ class Search {
   // ------------------------------------------------------------ helpers
 
   void solve_all() {
+    const Stopwatch total;
+    const CurveCounters curves_before = curve_counters();
     for (NodeId id : tree_.post_order()) {
       const ContractionNode& n = tree_.node(id);
+      if (n.kind == ContractionNode::Kind::kInput) continue;
+      const OptimizerStats before = stats_;
+      const Stopwatch node_watch;
       switch (n.kind) {
-        case ContractionNode::Kind::kInput:
-          break;
         case ContractionNode::Kind::kContraction:
           solve_contraction(id);
           break;
         case ContractionNode::Kind::kReduce:
           solve_reduce(id);
           break;
+        case ContractionNode::Kind::kInput:
+          break;
       }
+      note_node_done(id, n, before, node_watch.elapsed_s());
+    }
+    const CurveCounters curves_after = curve_counters();
+    stats_.table_lookups = curves_after.lookups - curves_before.lookups;
+    stats_.extrapolations =
+        curves_after.extrapolations - curves_before.extrapolations;
+    stats_.search_wall_s = total.elapsed_s();
+    if (obs::metrics_enabled()) {
+      obs::count("opt.curve.lookups", stats_.table_lookups);
+      obs::count("opt.curve.extrapolations", stats_.extrapolations);
+      obs::observe("opt.search_wall_s", stats_.search_wall_s);
+    }
+  }
+
+  /// Per-node accounting after one solve_* call: the delta against the
+  /// running totals is this node's effort.  Feeds OptimizerStats.nodes,
+  /// the metrics registry (opt.*) and a dp.node trace span.
+  void note_node_done(NodeId id, const ContractionNode& n,
+                      const OptimizerStats& before, double wall_s) {
+    NodeSearchStats ns;
+    ns.node = id;
+    ns.result_name = n.tensor.name;
+    ns.candidates = stats_.candidates - before.candidates;
+    ns.infeasible = stats_.infeasible - before.infeasible;
+    ns.dominated = stats_.dominated - before.dominated;
+    ns.kept = stats_.kept - before.kept;
+    ns.wall_s = wall_s;
+    stats_.nodes.push_back(ns);
+    if (obs::metrics_enabled()) {
+      obs::count("opt.nodes");
+      obs::count("opt.candidates", ns.candidates);
+      obs::count("opt.infeasible", ns.infeasible);
+      obs::count("opt.dominated", ns.dominated);
+      obs::count("opt.kept", ns.kept);
+      obs::count("opt.redistributions",
+                 stats_.redistributions - before.redistributions);
+      obs::observe("opt.frontier", static_cast<double>(ns.kept));
+      obs::observe("opt.node_wall_s", wall_s);
+    }
+    if (obs::trace_enabled()) {
+      const std::uint64_t dur_us =
+          static_cast<std::uint64_t>(wall_s * 1e6);
+      const std::uint64_t now_us = obs::trace_now_us();
+      obs::trace_complete(
+          "dp.node " + n.tensor.name, "optimizer",
+          now_us > dur_us ? now_us - dur_us : 0, dur_us,
+          json::ObjectWriter()
+              .field("node", static_cast<std::uint64_t>(id))
+              .field("result", n.tensor.name)
+              .field("candidates", ns.candidates)
+              .field("infeasible", ns.infeasible)
+              .field("dominated", ns.dominated)
+              .field("kept", ns.kept)
+              .str());
     }
   }
 
@@ -242,6 +306,7 @@ class Search {
       } else if (cfg_.enable_redistribution && s.fusion.empty()) {
         // A fully materialized intermediate can be reshuffled once,
         // outside any fused loops.
+        ++stats_.redistributions;
         o.redist = redistribute_cost(model_, cn.tensor, s.dist, beta,
                                      IndexSet(), space_);
         o.max_msg = std::max(
@@ -842,7 +907,8 @@ class Search {
   const ProcGrid& grid_;
   const IndexSpace& space_;
   std::map<NodeId, std::vector<Sol>> sols_;
-  SearchStats stats_;
+  /// Mutable: operand_options (const) counts redistribution candidates.
+  mutable OptimizerStats stats_;
 };
 
 /// TCE_VERIFY_PLANS debug mode: re-derive every invariant of \p plan
@@ -866,6 +932,7 @@ void maybe_verify(const ContractionTree& tree, const MachineModel& model,
 OptimizedPlan optimize(const ContractionTree& tree,
                        const MachineModel& model,
                        const OptimizerConfig& config) {
+  const obs::TraceSpan span("optimize", "optimizer");
   Search search(tree, model, config);
   OptimizedPlan plan = search.run();
   maybe_verify(tree, model, config, plan);
@@ -875,6 +942,7 @@ OptimizedPlan optimize(const ContractionTree& tree,
 std::vector<OptimizedPlan> optimize_frontier(const ContractionTree& tree,
                                              const MachineModel& model,
                                              const OptimizerConfig& config) {
+  const obs::TraceSpan span("optimize_frontier", "optimizer");
   Search search(tree, model, config);
   std::vector<OptimizedPlan> plans = search.run_frontier();
   for (const OptimizedPlan& plan : plans) {

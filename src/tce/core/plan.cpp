@@ -21,6 +21,33 @@ std::string comm_or_na(const std::optional<double>& s) {
 
 }  // namespace
 
+std::string OptimizerStats::str() const {
+  std::string out;
+  out += "search statistics:\n";
+  out += "  candidates costed:   " + std::to_string(candidates) + "\n";
+  out += "  memory-infeasible:   " + std::to_string(infeasible) + "\n";
+  out += "  Pareto-dominated:    " + std::to_string(dominated) + "\n";
+  out += "  kept (all nodes):    " + std::to_string(kept) + "\n";
+  out += "  max frontier/node:   " + std::to_string(max_per_node) + "\n";
+  out += "  redistributions:     " + std::to_string(redistributions) + "\n";
+  out += "  curve lookups:       " + std::to_string(table_lookups) + " (" +
+         std::to_string(extrapolations) + " extrapolated)\n";
+  out += "  search wall time:    " + fixed(search_wall_s * 1e3, 2) + " ms\n";
+  if (!nodes.empty()) {
+    TextTable t({"Node", "Result", "Candidates", "Infeasible", "Dominated",
+                 "Kept", "Wall (ms)"});
+    for (int c = 2; c <= 6; ++c) t.set_right_aligned(c);
+    for (const NodeSearchStats& n : nodes) {
+      t.add_row({std::to_string(n.node), n.result_name,
+                 std::to_string(n.candidates), std::to_string(n.infeasible),
+                 std::to_string(n.dominated), std::to_string(n.kept),
+                 fixed(n.wall_s * 1e3, 2)});
+    }
+    out += t.str();
+  }
+  return out;
+}
+
 std::string OptimizedPlan::table(const IndexSpace& space) const {
   TextTable t({"Full array", "Reduced array", "Initial dist.",
                "Final dist.", "Mem./node", "Comm. (init.)",

@@ -57,16 +57,40 @@ struct ArrayReport {
   std::optional<double> comm_final_s;    ///< Comm at the consuming node.
 };
 
+/// Search effort at one contraction-tree node.
+struct NodeSearchStats {
+  NodeId node = kNoNode;
+  std::string result_name;       ///< Result tensor of the node.
+  std::uint64_t candidates = 0;  ///< Configurations costed here.
+  std::uint64_t infeasible = 0;  ///< Dropped by the memory limit.
+  std::uint64_t dominated = 0;   ///< Dropped by Pareto dominance.
+  std::uint64_t kept = 0;        ///< Frontier size after pruning.
+  double wall_s = 0;             ///< Search wall time at this node.
+};
+
 /// Search-effort statistics (reproduces the paper's claim that "the
 /// pruning is effective in keeping the size of the solution set in each
 /// node small" with hard numbers).
-struct SearchStats {
+struct OptimizerStats {
   std::uint64_t candidates = 0;  ///< Configurations costed.
   std::uint64_t infeasible = 0;  ///< Dropped by the memory limit.
   std::uint64_t dominated = 0;   ///< Dropped by Pareto dominance.
   std::uint64_t kept = 0;        ///< Solutions surviving across all nodes.
   std::uint64_t max_per_node = 0;  ///< Largest per-node solution set.
+  /// Redistribution candidates inserted between child result and parent
+  /// operand distributions (§3.3's ⟨β,γ⟩-mismatch arcs).
+  std::uint64_t redistributions = 0;
+  std::uint64_t table_lookups = 0;   ///< Characterization-curve evals.
+  std::uint64_t extrapolations = 0;  ///< Evals outside the measured range.
+  double search_wall_s = 0;          ///< Total optimize() wall time.
+  std::vector<NodeSearchStats> nodes;  ///< Per-node effort, post-order.
+
+  /// Human-readable multi-line rendering (the CLI's --stats output).
+  std::string str() const;
 };
+
+/// Historical name; the struct predates the observability layer.
+using SearchStats = OptimizerStats;
 
 /// A complete optimized plan.
 struct OptimizedPlan {
@@ -83,7 +107,7 @@ struct OptimizedPlan {
 
   std::vector<PlanStep> steps;      ///< Post-order.
   std::vector<ArrayReport> arrays;  ///< Inputs, intermediates, output.
-  SearchStats stats;                ///< Search-effort accounting.
+  OptimizerStats stats;             ///< Search-effort accounting.
 
   double total_runtime_s() const { return total_comm_s + total_compute_s; }
   double comm_fraction() const {

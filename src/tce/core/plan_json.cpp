@@ -1,52 +1,19 @@
 #include "tce/core/plan_json.hpp"
 
-#include <cmath>
-#include <cstdlib>
 #include <utility>
 
 #include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
 #include "tce/common/strings.hpp"
 
 namespace tce {
 
 namespace {
 
-/// Minimal JSON writer: we only emit identifiers, numbers and fixed
-/// keys, but escape strings defensively anyway.
-std::string jstr(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += "\"";
-  return out;
-}
-
-std::string jnum(double v) {
-  if (!std::isfinite(v)) return "null";
-  // 17 significant digits: doubles survive the round trip exactly.
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+/// The shared JSON helpers (tce/common/json.hpp) under the names this
+/// writer has always used.
+std::string jstr(const std::string& s) { return json::quote(s); }
+std::string jnum(double v) { return json::number(v); }
 
 std::string jdist(const Distribution& d, const IndexSpace& space) {
   auto pos = [&](int i) {
@@ -75,227 +42,8 @@ std::string jindex(IndexId id, const IndexSpace& space) {
 
 // --------------------------------------------------------------- parsing
 
-/// A parsed JSON value.  Integers keep their exact uint64 representation
-/// alongside the double so byte counts round-trip losslessly.
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::uint64_t integer = 0;
-  bool is_integer = false;
-  std::string string;
-  std::vector<Json> array;
-  std::vector<std::pair<std::string, Json>> object;
-
-  const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  const Json& at(const std::string& key) const {
-    const Json* v = find(key);
-    if (v == nullptr) throw Error("plan JSON: missing key '" + key + "'");
-    return *v;
-  }
-};
-
-/// Recursive-descent parser over the writer's subset of JSON (which is
-/// all of JSON minus \uXXXX escapes beyond control characters).
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (pos_ != text_.size()) {
-      throw Error("plan JSON: trailing characters at offset " +
-                  std::to_string(pos_));
-    }
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) throw Error("plan JSON: unexpected end");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      throw Error(std::string("plan JSON: expected '") + c +
-                  "' at offset " + std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Json value() {
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return string_value();
-      case 't':
-      case 'f':
-        return boolean();
-      case 'n':
-        literal("null");
-        return Json{};
-      default:
-        return number();
-    }
-  }
-
-  void literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (pos_ >= text_.size() || text_[pos_] != *p) {
-        throw Error("plan JSON: bad literal at offset " +
-                    std::to_string(pos_));
-      }
-      ++pos_;
-    }
-  }
-
-  Json boolean() {
-    Json v;
-    v.kind = Json::Kind::kBool;
-    if (text_[pos_] == 't') {
-      literal("true");
-      v.boolean = true;
-    } else {
-      literal("false");
-    }
-    return v;
-  }
-
-  Json number() {
-    const std::size_t start = pos_;
-    bool floating = false;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
-                 c == '-') {
-        floating = true;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) {
-      throw Error("plan JSON: bad number at offset " +
-                  std::to_string(start));
-    }
-    const std::string tok = text_.substr(start, pos_ - start);
-    Json v;
-    v.kind = Json::Kind::kNumber;
-    v.number = std::strtod(tok.c_str(), nullptr);
-    if (!floating && tok[0] != '-') {
-      v.is_integer = true;
-      v.integer = std::strtoull(tok.c_str(), nullptr, 10);
-    }
-    return v;
-  }
-
-  Json string_value() {
-    expect('"');
-    Json v;
-    v.kind = Json::Kind::kString;
-    while (true) {
-      if (pos_ >= text_.size()) {
-        throw Error("plan JSON: unterminated string");
-      }
-      const char c = text_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          throw Error("plan JSON: unterminated escape");
-        }
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"':
-            v.string += '"';
-            break;
-          case '\\':
-            v.string += '\\';
-            break;
-          case 'n':
-            v.string += '\n';
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              throw Error("plan JSON: bad \\u escape");
-            }
-            const unsigned long cp =
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-            pos_ += 4;
-            v.string += static_cast<char>(cp);  // writer emits < 0x20 only
-            break;
-          }
-          default:
-            throw Error("plan JSON: unsupported escape");
-        }
-      } else {
-        v.string += c;
-      }
-    }
-    return v;
-  }
-
-  Json array() {
-    expect('[');
-    Json v;
-    v.kind = Json::Kind::kArray;
-    if (consume(']')) return v;
-    while (true) {
-      v.array.push_back(value());
-      if (consume(']')) break;
-      expect(',');
-    }
-    return v;
-  }
-
-  Json object() {
-    expect('{');
-    Json v;
-    v.kind = Json::Kind::kObject;
-    if (consume('}')) return v;
-    while (true) {
-      Json key = string_value();
-      expect(':');
-      v.object.emplace_back(std::move(key.string), value());
-      if (consume('}')) break;
-      expect(',');
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+/// The parser lives in tce/common/json.hpp; `Json` is its Value type.
+using Json = json::Value;
 
 double as_number(const Json& v, const char* what) {
   if (v.kind == Json::Kind::kNull) return 0.0;  // writer's non-finite
@@ -450,6 +198,27 @@ std::string plan_to_json(const OptimizedPlan& plan,
   out += ",\"dominated\":" + std::to_string(plan.stats.dominated);
   out += ",\"kept\":" + std::to_string(plan.stats.kept);
   out += ",\"max_per_node\":" + std::to_string(plan.stats.max_per_node);
+  out += ",\"redistributions\":" +
+         std::to_string(plan.stats.redistributions);
+  out += ",\"table_lookups\":" + std::to_string(plan.stats.table_lookups);
+  out += ",\"extrapolations\":" +
+         std::to_string(plan.stats.extrapolations);
+  out += ",\"search_wall_s\":" + jnum(plan.stats.search_wall_s);
+  out += ",\"nodes\":[";
+  for (std::size_t i = 0; i < plan.stats.nodes.size(); ++i) {
+    const NodeSearchStats& n = plan.stats.nodes[i];
+    if (i != 0) out += ",";
+    out += "{";
+    out += "\"node\":" + std::to_string(n.node);
+    out += ",\"result\":" + jstr(n.result_name);
+    out += ",\"candidates\":" + std::to_string(n.candidates);
+    out += ",\"infeasible\":" + std::to_string(n.infeasible);
+    out += ",\"dominated\":" + std::to_string(n.dominated);
+    out += ",\"kept\":" + std::to_string(n.kept);
+    out += ",\"wall_s\":" + jnum(n.wall_s);
+    out += "}";
+  }
+  out += "]";
   out += "}}";
   return out;
 }
@@ -457,7 +226,7 @@ std::string plan_to_json(const OptimizedPlan& plan,
 OptimizedPlan plan_from_json(const std::string& json,
                              const ContractionTree& tree) {
   const IndexSpace& space = tree.space();
-  const Json root = JsonReader(json).parse();
+  const Json root = json::parse(json);
   if (root.kind != Json::Kind::kObject) {
     throw Error("plan JSON: top-level value is not an object");
   }
@@ -561,6 +330,32 @@ OptimizedPlan plan_from_json(const std::string& json,
     plan.stats.kept = as_u64(stats->at("kept"), "kept");
     plan.stats.max_per_node =
         as_u64(stats->at("max_per_node"), "max_per_node");
+    // Observability fields (absent in pre-obs plan files).
+    if (const Json* v = stats->find("redistributions"); v != nullptr) {
+      plan.stats.redistributions = as_u64(*v, "redistributions");
+    }
+    if (const Json* v = stats->find("table_lookups"); v != nullptr) {
+      plan.stats.table_lookups = as_u64(*v, "table_lookups");
+    }
+    if (const Json* v = stats->find("extrapolations"); v != nullptr) {
+      plan.stats.extrapolations = as_u64(*v, "extrapolations");
+    }
+    if (const Json* v = stats->find("search_wall_s"); v != nullptr) {
+      plan.stats.search_wall_s = as_number(*v, "search_wall_s");
+    }
+    if (const Json* nodes = stats->find("nodes"); nodes != nullptr) {
+      for (const Json& jn : nodes->array) {
+        NodeSearchStats n;
+        n.node = static_cast<NodeId>(as_u64(jn.at("node"), "node"));
+        n.result_name = jn.at("result").string;
+        n.candidates = as_u64(jn.at("candidates"), "candidates");
+        n.infeasible = as_u64(jn.at("infeasible"), "infeasible");
+        n.dominated = as_u64(jn.at("dominated"), "dominated");
+        n.kept = as_u64(jn.at("kept"), "kept");
+        n.wall_s = as_number(jn.at("wall_s"), "wall_s");
+        plan.stats.nodes.push_back(std::move(n));
+      }
+    }
   }
   return plan;
 }

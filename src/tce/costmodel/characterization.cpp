@@ -8,6 +8,12 @@
 
 namespace tce {
 
+namespace {
+thread_local CurveCounters g_curve_counters;
+}  // namespace
+
+CurveCounters curve_counters() noexcept { return g_curve_counters; }
+
 void CostCurve::add_sample(std::uint64_t bytes, double seconds) {
   TCE_EXPECTS(seconds > 0);
   TCE_EXPECTS_MSG(bytes_.empty() || bytes > bytes_.back(),
@@ -18,8 +24,12 @@ void CostCurve::add_sample(std::uint64_t bytes, double seconds) {
 
 double CostCurve::eval(std::uint64_t bytes) const {
   TCE_EXPECTS_MSG(!bytes_.empty(), "empty cost curve");
+  ++g_curve_counters.lookups;
   if (bytes_.size() == 1) return seconds_[0];
   if (bytes == 0) return seconds_[0];
+  if (bytes < bytes_.front() || bytes > bytes_.back()) {
+    ++g_curve_counters.extrapolations;
+  }
 
   const double x = std::log(static_cast<double>(bytes));
   auto lx = [&](std::size_t i) {

@@ -21,6 +21,18 @@
 
 namespace tce {
 
+/// Running totals of CostCurve evaluations on this thread.  Always
+/// counted (two increments per eval — far below measurement noise);
+/// the optimizer snapshots deltas into OptimizerStats and the metrics
+/// registry.
+struct CurveCounters {
+  std::uint64_t lookups = 0;
+  std::uint64_t extrapolations = 0;  ///< Queries outside the sampled range.
+};
+
+/// This thread's counters since start (monotone; take deltas).
+CurveCounters curve_counters() noexcept;
+
 /// A monotone size→seconds curve with log–log interpolation.
 class CostCurve {
  public:

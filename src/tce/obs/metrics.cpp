@@ -1,0 +1,148 @@
+#include "tce/obs/metrics.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "tce/common/json.hpp"
+
+namespace tce::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Registry state behind the enabled check.  A transparent comparator
+/// lets the hot path look up by string_view without materialising a
+/// std::string for names that already exist.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Metric, std::less<>> entries;
+
+  Metric& entry(std::string_view name, Metric::Kind kind) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      it = entries.emplace(std::string(name), Metric{}).first;
+      it->second.kind = kind;
+    }
+    return it->second;
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void metrics_enable(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void metrics_reset() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entries.clear();
+}
+
+void count(std::string_view name, std::uint64_t delta) noexcept {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entry(name, Metric::Kind::kCounter).total += delta;
+}
+
+void gauge(std::string_view name, double value) noexcept {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entry(name, Metric::Kind::kGauge).last = value;
+}
+
+void observe(std::string_view name, double value) noexcept {
+  if (!metrics_enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Metric& m = r.entry(name, Metric::Kind::kHistogram);
+  if (m.count == 0 || value < m.min) m.min = value;
+  if (m.count == 0 || value > m.max) m.max = value;
+  ++m.count;
+  m.sum += value;
+}
+
+std::map<std::string, Metric> metrics_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return {r.entries.begin(), r.entries.end()};
+}
+
+std::uint64_t counter_value(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(name);
+  if (it == r.entries.end() || it->second.kind != Metric::Kind::kCounter) {
+    return 0;
+  }
+  return it->second.total;
+}
+
+std::string metrics_json() {
+  json::ObjectWriter out;
+  for (const auto& [name, m] : metrics_snapshot()) {
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        out.field(name, m.total);
+        break;
+      case Metric::Kind::kGauge:
+        out.field(name, m.last);
+        break;
+      case Metric::Kind::kHistogram:
+        out.raw(name, json::ObjectWriter()
+                          .field("count", m.count)
+                          .field("sum", m.sum)
+                          .field("min", m.min)
+                          .field("max", m.max)
+                          .str());
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string metrics_table() {
+  std::string out;
+  for (const auto& [name, m] : metrics_snapshot()) {
+    out += "  " + name;
+    out.append(name.size() < 40 ? 40 - name.size() : 1, ' ');
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        out += std::to_string(m.total);
+        break;
+      case Metric::Kind::kGauge:
+        out += json::number(m.last);
+        break;
+      case Metric::Kind::kHistogram:
+        out += "n=" + std::to_string(m.count) +
+               " sum=" + json::number(m.sum) +
+               " min=" + json::number(m.min) +
+               " max=" + json::number(m.max);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ScopedMetrics::ScopedMetrics(bool reset) : prev_(metrics_enabled()) {
+  if (reset) metrics_reset();
+  metrics_enable(true);
+}
+
+ScopedMetrics::~ScopedMetrics() { metrics_enable(prev_); }
+
+}  // namespace tce::obs

@@ -1,0 +1,86 @@
+#pragma once
+/// \file metrics.hpp
+/// Process-wide metrics registry: named counters, gauges and
+/// histograms, off by default.  The design goal is a no-op mode cheap
+/// enough to leave the instrumentation compiled into hot loops — every
+/// entry point checks one relaxed atomic flag and returns before
+/// touching a string, a lock, or the heap.
+///
+/// Names form a dotted hierarchy documented in docs/OBSERVABILITY.md,
+/// e.g. `opt.candidates`, `simnet.flows`, `cannon.rotations`,
+/// `verify.rule.cost.total`.  Counters accumulate, gauges keep the last
+/// value, histograms keep count/sum/min/max (enough for means and
+/// ranges without binning).
+///
+/// Enable with `metrics_enable(true)` (the CLI's `--stats`, the bench
+/// drivers' `--json`) or scoped via ScopedMetrics in tests.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tce::obs {
+
+/// True when the registry is recording.  Call sites that must build a
+/// dynamic name (e.g. "verify.rule." + id) should check this first so
+/// the disabled path allocates nothing.
+bool metrics_enabled() noexcept;
+
+/// Turns recording on or off.  Counts recorded while enabled persist
+/// until metrics_reset().
+void metrics_enable(bool on) noexcept;
+
+/// Drops every recorded value (enabled state is unchanged).
+void metrics_reset() noexcept;
+
+/// Adds \p delta to the counter \p name (creating it at zero).
+void count(std::string_view name, std::uint64_t delta = 1) noexcept;
+
+/// Sets the gauge \p name to \p value.
+void gauge(std::string_view name, double value) noexcept;
+
+/// Records one observation into the histogram \p name.
+void observe(std::string_view name, double value) noexcept;
+
+/// One recorded metric.  `kind` discriminates which fields are
+/// meaningful: counters use `total`, gauges `last`, histograms
+/// `count/sum/min/max`.
+struct Metric {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::uint64_t total = 0;  // counters
+  double last = 0;          // gauges
+  std::uint64_t count = 0;  // histograms
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Snapshot of every metric recorded so far, sorted by name.
+std::map<std::string, Metric> metrics_snapshot();
+
+/// Value of one counter (0 when absent or not a counter).
+std::uint64_t counter_value(std::string_view name);
+
+/// All metrics rendered as a JSON object: counters as integers, gauges
+/// as numbers, histograms as {"count":..,"sum":..,"min":..,"max":..}.
+std::string metrics_json();
+
+/// Human-readable table of all metrics, one `name  value` line each.
+std::string metrics_table();
+
+/// Enables the registry for a scope; restores the previous enabled
+/// state on destruction.  Resets recorded values on entry by default.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(bool reset = true);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace tce::obs

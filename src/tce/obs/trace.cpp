@@ -1,0 +1,220 @@
+#include "tce/obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "tce/common/json.hpp"
+
+namespace tce::obs {
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+constexpr int kWallTid = 1;
+
+std::atomic<bool> g_enabled{false};
+
+struct Tracer {
+  std::mutex mu;
+  std::vector<std::string> events;
+  std::string path;
+  std::chrono::steady_clock::time_point start;
+  double sim_cursor_s = 0;
+
+  void push(std::string event) { events.push_back(std::move(event)); }
+};
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+std::uint64_t wall_us_locked(const Tracer& t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t.start)
+          .count());
+}
+
+/// Renders one trace event.  \p ts_json is the pre-rendered "ts" value
+/// (integer µs on the wall track, fractional µs on the sim track).
+std::string render(std::string_view name, std::string_view cat,
+                   const char* ph, const std::string& ts_json, int pid,
+                   int tid, const std::string& args_json,
+                   std::uint64_t dur_us = 0, bool has_dur = false,
+                   const std::string& dur_json = std::string()) {
+  json::ObjectWriter ev;
+  if (!name.empty()) ev.field("name", std::string(name));
+  if (!cat.empty()) ev.field("cat", std::string(cat));
+  ev.field("ph", ph);
+  ev.raw("ts", ts_json);
+  if (has_dur) {
+    ev.raw("dur", dur_json.empty() ? std::to_string(dur_us) : dur_json);
+  }
+  ev.field("pid", pid);
+  ev.field("tid", tid);
+  if (ph[0] == 'i') ev.field("s", "t");  // instant scope: thread
+  if (!args_json.empty()) ev.raw("args", args_json);
+  return ev.str();
+}
+
+void push_metadata(Tracer& t, int pid, const char* process_name) {
+  t.push(json::ObjectWriter()
+             .field("name", "process_name")
+             .field("ph", "M")
+             .field("pid", pid)
+             .field("tid", 0)
+             .raw("args", json::ObjectWriter()
+                              .field("name", process_name)
+                              .str())
+             .str());
+}
+
+/// Converts simulated seconds to a fractional-microsecond "ts" value.
+std::string sim_ts(double s) { return json::number(s * 1e6); }
+
+/// Starts tracing at process startup when TCE_TRACE names a file, and
+/// flushes it at exit — zero-code-change capture for tests and tools.
+struct EnvTrace {
+  EnvTrace() {
+    const char* path = std::getenv("TCE_TRACE");
+    if (path != nullptr && path[0] != '\0') trace_start(path);
+  }
+  ~EnvTrace() { trace_stop(); }
+};
+const EnvTrace g_env_trace;
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void trace_start(const std::string& path) {
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.events.clear();
+  t.path = path;
+  t.start = std::chrono::steady_clock::now();
+  t.sim_cursor_s = 0;
+  push_metadata(t, kWallPid, "tcemin (wall clock)");
+  push_metadata(t, kSimPid, "simnet (simulated time)");
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  if (!trace_enabled()) return;
+  const std::string doc = trace_json();
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  g_enabled.store(false, std::memory_order_relaxed);
+  if (!t.path.empty()) {
+    std::ofstream out(t.path);
+    out << doc << "\n";
+  }
+  t.events.clear();
+}
+
+std::string trace_json() {
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  json::ArrayWriter events;
+  for (const std::string& e : t.events) events.element(e);
+  return json::ObjectWriter()
+      .field("displayTimeUnit", "ms")
+      .raw("traceEvents", events.str())
+      .str();
+}
+
+std::uint64_t trace_now_us() noexcept {
+  if (!trace_enabled()) return 0;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return wall_us_locked(t);
+}
+
+void trace_begin(std::string_view name, std::string_view cat,
+                 const std::string& args_json) {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.push(render(name, cat, "B", std::to_string(wall_us_locked(t)),
+                kWallPid, kWallTid, args_json));
+}
+
+void trace_end() {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.push(render({}, {}, "E", std::to_string(wall_us_locked(t)), kWallPid,
+                kWallTid, std::string()));
+}
+
+void trace_complete(std::string_view name, std::string_view cat,
+                    std::uint64_t ts_us, std::uint64_t dur_us,
+                    const std::string& args_json) {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.push(render(name, cat, "X", std::to_string(ts_us), kWallPid,
+                kWallTid, args_json, dur_us, /*has_dur=*/true));
+}
+
+void trace_instant(std::string_view name, std::string_view cat,
+                   const std::string& args_json) {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.push(render(name, cat, "i", std::to_string(wall_us_locked(t)),
+                kWallPid, kWallTid, args_json));
+}
+
+double sim_now_s() noexcept {
+  if (!trace_enabled()) return 0;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.sim_cursor_s;
+}
+
+void sim_advance(double s) noexcept {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.sim_cursor_s += s;
+}
+
+void trace_sim_complete(std::string_view name, std::string_view cat,
+                        int tid, double start_s, double dur_s,
+                        const std::string& args_json) {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.push(render(name, cat, "X", sim_ts(start_s), kSimPid, tid,
+                args_json, 0, /*has_dur=*/true, sim_ts(dur_s)));
+}
+
+void trace_sim_instant(std::string_view name, std::string_view cat,
+                       int tid, double at_s,
+                       const std::string& args_json) {
+  if (!trace_enabled()) return;
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.push(render(name, cat, "i", sim_ts(at_s), kSimPid, tid, args_json));
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view cat,
+                     const std::string& args_json)
+    : active_(trace_enabled()) {
+  if (active_) trace_begin(name, cat, args_json);
+}
+
+TraceSpan::~TraceSpan() {
+  if (active_) trace_end();
+}
+
+}  // namespace tce::obs

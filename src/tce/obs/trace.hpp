@@ -1,0 +1,102 @@
+#pragma once
+/// \file trace.hpp
+/// Chrome/Perfetto trace-event emitter (the `trace_event` JSON format:
+/// chrome://tracing, https://ui.perfetto.dev).  Off by default; every
+/// entry point checks one relaxed atomic flag first, so instrumented
+/// hot loops cost a predicted branch when tracing is disabled.
+///
+/// Two process tracks keep wall time and simulated time apart:
+///  - pid 1 "tcemin (wall clock)" — real elapsed time: DP node spans,
+///    characterization, verification.  Timestamps come from a steady
+///    clock, zeroed at trace_start().
+///  - pid 2 "simnet (simulated time)" — the network simulator's fluid
+///    clock: phases (tid 1), compute (tid 2), individual flows
+///    (tid 10+i).  The emitter keeps a cursor (sim_now_s/sim_advance)
+///    that instrumented simulations move forward, so consecutive
+///    phases lay out end to end on the timeline.
+///
+/// Capture paths: `tcemin plan --trace out.json`, or set
+/// `TCE_TRACE=<path>` in the environment — any binary linking tce_obs
+/// then records from startup and writes the file at exit.
+/// Schema and how-to: docs/OBSERVABILITY.md.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tce::obs {
+
+/// True while the emitter is recording.  Call sites must check this
+/// before building dynamic event names or args strings so the disabled
+/// path allocates nothing.
+bool trace_enabled() noexcept;
+
+/// Starts recording; the trace is written to \p path by trace_stop()
+/// (or at process exit for the TCE_TRACE env path).  Clears any
+/// previously buffered events and re-zeroes both clocks.
+void trace_start(const std::string& path);
+
+/// Stops recording and writes the buffered trace to the path given to
+/// trace_start().  No-op when not recording.
+void trace_stop();
+
+/// The full trace document rendered from the current buffer (without
+/// stopping).  Mainly for tests.
+std::string trace_json();
+
+/// Microseconds of wall time since trace_start() (0 when disabled).
+std::uint64_t trace_now_us() noexcept;
+
+// --- wall-clock track (pid 1) -----------------------------------------
+
+/// Opens a duration span ("ph":"B"); pair with trace_end().  Prefer
+/// TraceSpan, which cannot unbalance the stream.
+void trace_begin(std::string_view name, std::string_view cat,
+                 const std::string& args_json = std::string());
+
+/// Closes the innermost open span ("ph":"E").
+void trace_end();
+
+/// One complete event ("ph":"X") with explicit start and duration.
+void trace_complete(std::string_view name, std::string_view cat,
+                    std::uint64_t ts_us, std::uint64_t dur_us,
+                    const std::string& args_json = std::string());
+
+/// One instant event ("ph":"i") at the current wall time.
+void trace_instant(std::string_view name, std::string_view cat,
+                   const std::string& args_json = std::string());
+
+// --- simulated-time track (pid 2) -------------------------------------
+
+/// Current position of the simulated-time cursor, in seconds.
+double sim_now_s() noexcept;
+
+/// Moves the simulated-time cursor forward by \p s seconds (no event).
+void sim_advance(double s) noexcept;
+
+/// One complete event on the simulated track; \p start_s is absolute
+/// simulated seconds (use sim_now_s() + offset).
+void trace_sim_complete(std::string_view name, std::string_view cat,
+                        int tid, double start_s, double dur_s,
+                        const std::string& args_json = std::string());
+
+/// One instant event on the simulated track at \p at_s.
+void trace_sim_instant(std::string_view name, std::string_view cat,
+                       int tid, double at_s,
+                       const std::string& args_json = std::string());
+
+/// RAII wall-clock span: emits "B" on construction and "E" on
+/// destruction when tracing is enabled, nothing otherwise.
+class TraceSpan {
+ public:
+  TraceSpan(std::string_view name, std::string_view cat,
+            const std::string& args_json = std::string());
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace tce::obs

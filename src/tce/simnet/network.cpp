@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
+#include "tce/common/json.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/obs/trace.hpp"
 #include "tce/simnet/maxmin.hpp"
 
 namespace tce {
+
+namespace {
+
+/// Trace lanes on the simulated-time track (pid 2): phases on one row,
+/// compute on another, individual flows fanned out below.
+constexpr int kPhaseTid = 1;
+constexpr int kComputeTid = 2;
+constexpr int kFlowTidBase = 10;
+
+/// Name of a resource id in run_flows' layout ([0,n) NIC out, [n,2n)
+/// NIC in, [2n,3n) memory engines, then the optional bisection cap).
+std::string resource_name(std::size_t r, std::uint32_t n) {
+  if (r < n) return "nic_out:" + std::to_string(r);
+  if (r < 2ull * n) return "nic_in:" + std::to_string(r - n);
+  if (r < 3ull * n) return "mem:" + std::to_string(r - 2ull * n);
+  return "bisection";
+}
+
+}  // namespace
 
 Network::Network(ClusterSpec spec) : spec_(spec) { spec_.validate(); }
 
@@ -57,12 +80,43 @@ Network::RunResult Network::run_flows(const std::vector<Flow>& flows) const {
     active.push_back(std::move(a));
   }
 
+  // Tracing: per-flow first-round fair rate (the allocated bandwidth
+  // while all flows contend) and bottleneck link — the most loaded
+  // resource on the flow's path in that round.
+  const bool tracing = obs::trace_enabled();
+  std::vector<double> first_rate;
+  std::vector<std::string> bottleneck;
+  if (tracing && !active.empty()) {
+    first_rate.assign(flows.size(), 0.0);
+    bottleneck.assign(flows.size(), std::string());
+    std::vector<double> load(capacities.size(), 0.0);
+    for (const auto& a : active) {
+      for (std::uint32_t r : a.path) load[r] += 1.0;
+    }
+    for (const auto& a : active) {
+      std::size_t worst = a.path[0];
+      for (std::uint32_t r : a.path) {
+        if (load[r] / capacities[r] > load[worst] / capacities[worst]) {
+          worst = r;
+        }
+      }
+      bottleneck[a.id] = resource_name(worst, n);
+    }
+  }
+
   double now = 0.0;
+  bool first_round = true;
   while (!active.empty()) {
     std::vector<ResourcePath> paths;
     paths.reserve(active.size());
     for (const auto& a : active) paths.push_back(a.path);
     const std::vector<double> rates = maxmin_fair_rates(paths, capacities);
+    if (tracing && first_round) {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        first_rate[active[i].id] = rates[i];
+      }
+      first_round = false;
+    }
 
     // Time until the earliest active flow drains.
     double dt = std::numeric_limits<double>::infinity();
@@ -89,17 +143,68 @@ Network::RunResult Network::run_flows(const std::vector<Flow>& flows) const {
   for (double f : result.finish_s) {
     result.makespan_s = std::max(result.makespan_s, f);
   }
+
+  if (obs::metrics_enabled()) {
+    std::uint64_t bytes = 0;
+    for (const Flow& f : flows) bytes += f.bytes;
+    obs::count("simnet.flows", flows.size());
+    obs::count("simnet.bytes", bytes);
+  }
+  if (tracing && !flows.empty()) {
+    const double base = obs::sim_now_s();
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      json::ObjectWriter args;
+      args.field("src", flows[f].src)
+          .field("dst", flows[f].dst)
+          .field("bytes", flows[f].bytes)
+          .field("allocated_bw", flows[f].bytes != 0
+                                     ? first_rate[f]
+                                     : 0.0);
+      if (flows[f].bytes != 0 && !bottleneck[f].empty()) {
+        args.field("bottleneck", bottleneck[f]);
+      }
+      obs::trace_sim_complete(
+          "flow " + std::to_string(flows[f].src) + "->" +
+              std::to_string(flows[f].dst),
+          "simnet", kFlowTidBase + static_cast<int>(f), base,
+          result.finish_s[f], args.str());
+    }
+  }
   return result;
 }
 
 PhaseResult Network::run_phase(const Phase& phase) const {
   PhaseResult r;
-  r.comm_s = run_flows(phase.flows).makespan_s;
   for (const auto& c : phase.compute) {
     TCE_EXPECTS(c.rank < spec_.procs());
     r.compute_s = std::max(
         r.compute_s, static_cast<double>(c.flops) / spec_.flops_per_proc);
   }
+  // Trace layout: ranks compute, then the flows are exchanged, so
+  // compute occupies [base, base+compute) on the simulated clock and
+  // the flows (emitted by run_flows at the advanced cursor) follow.
+  const bool tracing = obs::trace_enabled();
+  const double base = tracing ? obs::sim_now_s() : 0.0;
+  if (tracing) {
+    if (r.compute_s > 0) {
+      obs::trace_sim_complete("compute", "simnet", kComputeTid, base,
+                              r.compute_s);
+    }
+    obs::sim_advance(r.compute_s);
+  }
+  r.comm_s = run_flows(phase.flows).makespan_s;
+  if (tracing) {
+    obs::sim_advance(r.comm_s);
+    obs::trace_sim_complete(
+        phase.label.empty() ? "phase" : phase.label, "simnet", kPhaseTid,
+        base, r.total_s(),
+        json::ObjectWriter()
+            .field("flows", phase.flows.size())
+            .field("comm_s", r.comm_s)
+            .field("compute_s", r.compute_s)
+            .str());
+  }
+  obs::count("simnet.phases");
   return r;
 }
 

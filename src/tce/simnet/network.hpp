@@ -15,6 +15,7 @@
 /// additive accounting of computation and communication.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tce/simnet/spec.hpp"
@@ -38,6 +39,9 @@ struct ComputeLoad {
 struct Phase {
   std::vector<Flow> flows;
   std::vector<ComputeLoad> compute;
+  /// Display name on the trace timeline (e.g. "T1 rotate step 3");
+  /// empty renders as "phase".  No effect on simulation results.
+  std::string label;
 };
 
 /// Outcome of one phase.

@@ -9,6 +9,8 @@
 #include "tce/common/error.hpp"
 #include "tce/common/strings.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/obs/trace.hpp"
 
 namespace tce {
 
@@ -67,13 +69,21 @@ class PlanVerifier {
   void fail(NodeId node, const std::string& rule,
             const std::string& message,
             Severity sev = Severity::kError) {
+    obs::count("verify.diagnostics");
     report_.diagnostics.push_back({sev, node, rule, message});
+  }
+
+  /// Accounts one evaluated rule, both on the report and (when the
+  /// registry is live) on a per-rule-id counter.
+  void count_rule(const std::string& id) {
+    ++report_.rules_checked;
+    if (obs::metrics_enabled()) obs::count("verify.rule." + id);
   }
 
   /// Evaluates one rule; returns \p ok so callers can chain.
   bool rule(bool ok, NodeId node, const std::string& id,
             const std::string& message) {
-    ++report_.rules_checked;
+    count_rule(id);
     if (!ok) fail(node, id, message);
     return ok;
   }
@@ -88,7 +98,7 @@ class PlanVerifier {
   /// downgrading near misses (within 1%) to warnings.
   void check_cost(NodeId node, const std::string& id, const std::string& what,
                   double recorded, double recomputed) {
-    ++report_.rules_checked;
+    count_rule(id);
     if (close(recorded, recomputed)) return;
     const double big = std::max(std::fabs(recorded), std::fabs(recomputed));
     const bool near = std::fabs(recorded - recomputed) <= 0.01 * big;
@@ -379,7 +389,7 @@ class PlanVerifier {
       }
       triplet.insert(v);
     };
-    ++report_.rules_checked;
+    count_rule("cannon.triplet");
     pick(c.i, n.left_indices, "triplet i");
     pick(c.j, n.right_indices, "triplet j");
     pick(c.k, n.sum_indices, "triplet k");
@@ -507,7 +517,7 @@ class PlanVerifier {
                  "index");
       }
     }
-    ++report_.rules_checked;
+    count_rule("repl.layout");
     bool tr = false;
     if (s_r != kNoIndex) {
       tr = delta.dim_of(s_r) == 2;
@@ -822,6 +832,8 @@ VerifyReport verify_plan(const ContractionTree& tree,
                          const MachineModel& model,
                          const OptimizedPlan& plan,
                          const VerifyOptions& opts) {
+  const obs::TraceSpan span("verify", "verify");
+  obs::count("verify.runs");
   PlanVerifier verifier(tree, model, plan, opts);
   return verifier.run();
 }

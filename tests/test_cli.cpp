@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "tce/cli/cli.hpp"
 #include "tce/common/error.hpp"
@@ -99,6 +100,32 @@ TEST(Cli, PlanVerifyCoversForests) {
   CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--verify"});
   ASSERT_EQ(r.exit_code, 0) << r.error;
   EXPECT_NE(r.output.find("output X"), std::string::npos);
+}
+
+TEST(Cli, PlanStatsPrintsSearchCounters) {
+  TempFile f("cli_stats.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--stats"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("search statistics:"), std::string::npos);
+  EXPECT_NE(r.output.find("candidates"), std::string::npos);
+  EXPECT_NE(r.output.find("opt.candidates"), std::string::npos)
+      << "metrics table should follow the stats block";
+}
+
+TEST(Cli, PlanTraceWritesLoadableTraceEvents) {
+  TempFile f("cli_trace.tce", kSmallProgram);
+  const std::string trace =
+      std::string(::testing::TempDir()) + "cli_trace_out.json";
+  CliResult r = run_cli(
+      {"plan", f.path(), "--procs", "4", "--trace", trace});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  std::ifstream in(trace);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  std::remove(trace.c_str());
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("dp.node"), std::string::npos);
 }
 
 TEST(Cli, PlanInfeasibleReturnsCode2) {

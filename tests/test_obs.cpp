@@ -1,0 +1,341 @@
+// Tests for tce/obs: the metrics registry and the Chrome/Perfetto
+// trace-event emitter, including the "no-op mode is allocation-free"
+// guarantee the instrumented hot loops rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+
+#include "tce/common/json.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/costmodel/analytic.hpp"
+#include "tce/expr/parser.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/obs/trace.hpp"
+#include "tce/simnet/network.hpp"
+
+// ------------------------------------------------- allocation counting
+//
+// Replace the global allocator with a counting pass-through so the
+// no-op-mode test below can assert that disabled instrumentation never
+// touches the heap.  This affects only this test binary.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tce {
+namespace {
+
+// ------------------------------------------------------------- metrics
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics_reset();
+    obs::metrics_enable(true);
+  }
+  void TearDown() override {
+    obs::metrics_enable(false);
+    obs::metrics_reset();
+  }
+};
+
+TEST_F(MetricsTest, CountersAccumulate) {
+  obs::count("t.counter");
+  obs::count("t.counter", 4);
+  EXPECT_EQ(obs::counter_value("t.counter"), 5u);
+  const auto snap = obs::metrics_snapshot();
+  ASSERT_TRUE(snap.contains("t.counter"));
+  EXPECT_EQ(snap.at("t.counter").kind, obs::Metric::Kind::kCounter);
+  EXPECT_EQ(snap.at("t.counter").total, 5u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  obs::gauge("t.gauge", 1.5);
+  obs::gauge("t.gauge", -3.25);
+  const auto snap = obs::metrics_snapshot();
+  ASSERT_TRUE(snap.contains("t.gauge"));
+  EXPECT_EQ(snap.at("t.gauge").kind, obs::Metric::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snap.at("t.gauge").last, -3.25);
+}
+
+TEST_F(MetricsTest, HistogramTracksCountSumMinMax) {
+  for (double v : {3.0, 1.0, 2.0}) obs::observe("t.hist", v);
+  const auto snap = obs::metrics_snapshot();
+  ASSERT_TRUE(snap.contains("t.hist"));
+  const obs::Metric& m = snap.at("t.hist");
+  EXPECT_EQ(m.kind, obs::Metric::Kind::kHistogram);
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_DOUBLE_EQ(m.sum, 6.0);
+  EXPECT_DOUBLE_EQ(m.min, 1.0);
+  EXPECT_DOUBLE_EQ(m.max, 3.0);
+}
+
+TEST_F(MetricsTest, DisabledRegistryRecordsNothing) {
+  obs::metrics_enable(false);
+  obs::count("t.off");
+  obs::gauge("t.off.g", 1);
+  obs::observe("t.off.h", 1);
+  EXPECT_EQ(obs::counter_value("t.off"), 0u);
+  EXPECT_TRUE(obs::metrics_snapshot().empty());
+}
+
+TEST_F(MetricsTest, ResetClears) {
+  obs::count("t.counter", 7);
+  obs::metrics_reset();
+  EXPECT_EQ(obs::counter_value("t.counter"), 0u);
+  EXPECT_TRUE(obs::metrics_snapshot().empty());
+  EXPECT_TRUE(obs::metrics_enabled()) << "reset must not flip the flag";
+}
+
+TEST_F(MetricsTest, JsonRendersEveryKindAndParsesBack) {
+  obs::count("t.counter", 5);
+  obs::gauge("t.gauge", 2.5);
+  obs::observe("t.hist", 4.0);
+  const json::Value doc = json::parse(obs::metrics_json());
+  ASSERT_EQ(doc.kind, json::Value::Kind::kObject);
+  EXPECT_EQ(doc.at("t.counter").integer, 5u);
+  EXPECT_DOUBLE_EQ(doc.at("t.gauge").number, 2.5);
+  const json::Value& h = doc.at("t.hist");
+  EXPECT_EQ(h.at("count").integer, 1u);
+  EXPECT_DOUBLE_EQ(h.at("sum").number, 4.0);
+  EXPECT_DOUBLE_EQ(h.at("min").number, 4.0);
+  EXPECT_DOUBLE_EQ(h.at("max").number, 4.0);
+}
+
+TEST_F(MetricsTest, TableListsNames) {
+  obs::count("t.counter", 5);
+  const std::string table = obs::metrics_table();
+  EXPECT_NE(table.find("t.counter"), std::string::npos);
+  EXPECT_NE(table.find("5"), std::string::npos);
+}
+
+TEST(Metrics, ScopedMetricsRestoresPreviousState) {
+  obs::metrics_enable(false);
+  {
+    obs::ScopedMetrics scoped;
+    EXPECT_TRUE(obs::metrics_enabled());
+    obs::count("t.scoped");
+    EXPECT_EQ(obs::counter_value("t.scoped"), 1u);
+  }
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+// --------------------------------------------------- no-op-mode cost
+
+TEST(ObsNoop, DisabledInstrumentationDoesNotAllocate) {
+  obs::metrics_enable(false);
+  ASSERT_FALSE(obs::metrics_enabled());
+  ASSERT_FALSE(obs::trace_enabled());
+
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::count("noop.counter");
+    obs::count("noop.counter", 3);
+    obs::gauge("noop.gauge", i);
+    obs::observe("noop.hist", i);
+    obs::trace_instant("noop", "test");
+    obs::trace_sim_complete("noop", "test", 1, 0.0, 1.0);
+    obs::sim_advance(0.0);
+    obs::TraceSpan span("noop", "test");
+  }
+  const std::uint64_t after =
+      g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+// --------------------------------------------------------------- trace
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Trace, WellFormedBalancedAndOrdered) {
+  const std::string path = temp_path("obs_trace_basic.json");
+  obs::trace_start(path);
+  {
+    obs::TraceSpan outer("outer", "test");
+    { obs::TraceSpan inner("inner", "test"); }
+    obs::trace_instant("tick", "test",
+                       json::ObjectWriter().field("k", 1).str());
+  }
+  obs::trace_complete("manual", "test", 0, 5);
+  obs::trace_sim_complete("simstep", "test", 3, 0.0, 1.5);
+  obs::trace_sim_instant("simmark", "test", 3, 0.5);
+  obs::trace_stop();
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const json::Value doc = json::parse(slurp(path));
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, json::Value::Kind::kArray);
+
+  int begins = 0, ends = 0, metadata = 0;
+  std::uint64_t last_begin_ts = 0;
+  for (const json::Value& e : events.array) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    EXPECT_GE(e.at("ts").number, 0.0);
+    if (ph == "E") {
+      // End events close the innermost span; they carry no name.
+      ++ends;
+      continue;
+    }
+    ASSERT_FALSE(e.at("name").string.empty());
+    if (ph == "B") {
+      // Begin events are emitted live, so their timestamps are
+      // monotone in buffer order.
+      EXPECT_GE(e.at("ts").integer, last_begin_ts);
+      last_begin_ts = e.at("ts").integer;
+      ++begins;
+    } else if (ph == "X") {
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else {
+      EXPECT_EQ(ph, "i");
+      EXPECT_EQ(e.at("s").string, "t");
+    }
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(metadata, 2) << "one process_name per track";
+
+  // Named events all present.
+  for (const char* want :
+       {"outer", "inner", "tick", "manual", "simstep", "simmark"}) {
+    bool found = false;
+    for (const json::Value& e : events.array) {
+      const json::Value* name = e.find("name");
+      found = found || (name != nullptr && name->string == want);
+    }
+    EXPECT_TRUE(found) << want;
+  }
+}
+
+TEST(Trace, RestartClearsBufferAndClocks) {
+  const std::string path1 = temp_path("obs_trace_first.json");
+  const std::string path2 = temp_path("obs_trace_second.json");
+  obs::trace_start(path1);
+  obs::trace_instant("only-in-first", "test");
+  obs::sim_advance(2.0);
+  obs::trace_stop();
+
+  obs::trace_start(path2);
+  EXPECT_DOUBLE_EQ(obs::sim_now_s(), 0.0);
+  obs::trace_instant("only-in-second", "test");
+  obs::trace_stop();
+
+  const std::string second = slurp(path2);
+  EXPECT_EQ(second.find("only-in-first"), std::string::npos);
+  EXPECT_NE(second.find("only-in-second"), std::string::npos);
+}
+
+TEST(Trace, SimClockCursorAdvances) {
+  obs::trace_start(temp_path("obs_trace_cursor.json"));
+  EXPECT_DOUBLE_EQ(obs::sim_now_s(), 0.0);
+  obs::sim_advance(1.25);
+  obs::sim_advance(0.75);
+  EXPECT_DOUBLE_EQ(obs::sim_now_s(), 2.0);
+  obs::trace_stop();
+}
+
+TEST(Trace, OptimizerEmitsDpNodeSpans) {
+  obs::trace_start(temp_path("obs_trace_opt.json"));
+  FormulaSequence seq = parse_formula_sequence(
+      "index i, j, k = 64\nC[i,j] = sum[k] A[i,k] * B[k,j]");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  AnalyticModel model(ProcGrid::make(16, 2), AnalyticParams{});
+  optimize(tree, model);
+  const json::Value doc = json::parse(obs::trace_json());
+  obs::trace_stop();
+
+  bool saw_span = false, saw_node = false;
+  for (const json::Value& e : doc.at("traceEvents").array) {
+    const json::Value* name_v = e.find("name");
+    if (name_v == nullptr) continue;
+    const std::string& name = name_v->string;
+    saw_span = saw_span || (name == "optimize" && e.at("ph").string == "B");
+    if (name.rfind("dp.node", 0) == 0) {
+      saw_node = true;
+      EXPECT_EQ(e.at("ph").string, "X");
+      const json::Value& args = e.at("args");
+      EXPECT_GE(args.at("candidates").integer, 1u);
+      EXPECT_GE(args.at("kept").integer, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_node);
+}
+
+TEST(Trace, SimnetEmitsPhaseAndFlowEvents) {
+  obs::trace_start(temp_path("obs_trace_net.json"));
+  Network net(ClusterSpec::itanium2003(2));
+  Phase phase;
+  phase.label = "test phase";
+  phase.compute.push_back({0, 1'000'000'000});
+  phase.flows.push_back({0, 2, 1'000'000});
+  phase.flows.push_back({1, 3, 2'000'000});
+  net.run_phase(phase);
+  const json::Value doc = json::parse(obs::trace_json());
+  obs::trace_stop();
+
+  bool saw_phase = false, saw_compute = false;
+  int flows = 0;
+  for (const json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "M") continue;
+    EXPECT_EQ(e.at("pid").integer, 2u) << "simnet events live on pid 2";
+    const std::string& name = e.at("name").string;
+    if (name == "test phase") {
+      saw_phase = true;
+      EXPECT_EQ(e.at("args").at("flows").integer, 2u);
+    }
+    saw_compute = saw_compute || name == "compute";
+    if (name.rfind("flow ", 0) == 0) {
+      ++flows;
+      const json::Value& args = e.at("args");
+      EXPECT_GE(args.at("allocated_bw").number, 0.0);
+      EXPECT_FALSE(args.at("bottleneck").string.empty());
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+  EXPECT_TRUE(saw_compute);
+  EXPECT_EQ(flows, 2);
+}
+
+TEST(Trace, DisabledEmitterBuffersNothing) {
+  ASSERT_FALSE(obs::trace_enabled());
+  obs::trace_instant("dropped", "test");
+  EXPECT_EQ(obs::trace_now_us(), 0u);
+}
+
+}  // namespace
+}  // namespace tce

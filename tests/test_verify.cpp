@@ -9,6 +9,7 @@
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/expr/parser.hpp"
+#include "tce/obs/metrics.hpp"
 #include "tce/verify/verifier.hpp"
 
 #include "paper_workload.hpp"
@@ -67,6 +68,18 @@ TEST(Verify, PaperPlanHasZeroDiagnostics) {
   EXPECT_TRUE(r.ok()) << r.str(paper16().tree);
   EXPECT_TRUE(r.diagnostics.empty()) << r.str(paper16().tree);
   EXPECT_GT(r.rules_checked, 30u);  // every family of rules actually ran
+}
+
+TEST(Verify, PopulatesPerRuleCountersWhenMetricsAreLive) {
+  obs::ScopedMetrics scoped;
+  const VerifyReport r = verify16(paper16().plan);
+  EXPECT_EQ(obs::counter_value("verify.runs"), 1u);
+  std::uint64_t per_rule = 0;
+  for (const auto& [name, metric] : obs::metrics_snapshot()) {
+    if (name.rfind("verify.rule.", 0) == 0) per_rule += metric.total;
+  }
+  EXPECT_EQ(per_rule, r.rules_checked)
+      << "per-rule counters must sum to the report's rules_checked";
 }
 
 TEST(Verify, Table1SettingVerifiesClean) {
