@@ -19,21 +19,24 @@ struct Outcome {
   bool feasible = false;
   double comm = 0;
   std::string note;
+  double opt_wall_ms = 0;
 };
 
 Outcome run(const ContractionTree& tree, const MachineModel& model,
             const OptimizerConfig& cfg) {
+  const Stopwatch sw;
   try {
     OptimizedPlan p = optimize(tree, model, cfg);
-    return {true, p.total_comm_s, ""};
+    return {true, p.total_comm_s, "", sw.elapsed_s() * 1000};
   } catch (const InfeasibleError& e) {
-    return {false, 0, e.what()};
+    return {false, 0, e.what(), sw.elapsed_s() * 1000};
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("baselines", argc, argv);
   heading("Strategy comparison — 16 processors, 4 GB/node, paper workload");
 
@@ -46,12 +49,16 @@ int main(int argc, char** argv) {
 
   OptimizerConfig integrated;
   integrated.mem_limit_node_bytes = kNodeLimit4GB;
+  integrated.threads = threads;
   const Outcome best = run(tree, model, integrated);
   table.add_row({"integrated fusion+distribution DP (this paper)", "yes",
                  fixed(best.comm, 1), "1.00x"});
   auto emit = [&](const char* strategy, const Outcome& o) {
     json::ObjectWriter fields;
-    fields.field("strategy", strategy).field("feasible", o.feasible);
+    fields.field("strategy", strategy)
+        .field("threads", threads)
+        .field("opt_wall_ms", o.opt_wall_ms)
+        .field("feasible", o.feasible);
     if (o.feasible) {
       fields.field("comm_s", o.comm)
           .field("vs_integrated", o.comm / best.comm);
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
     OptimizerConfig cfg;
     cfg.mem_limit_node_bytes = kNodeLimit4GB;
     cfg.enable_fusion = false;
+    cfg.threads = threads;
     const Outcome o = run(tree, model, cfg);
     table.add_row({"distribute first, no fusion available",
                    o.feasible ? "yes" : "NO",
@@ -83,6 +91,7 @@ int main(int argc, char** argv) {
     OptimizerConfig cfg;
     cfg.mem_limit_node_bytes = kNodeLimit4GB;
     cfg.fixed_fusions = mm.fusions;
+    cfg.threads = threads;
     const Outcome o = run(tree, model, cfg);
     table.add_row({"fuse first (memory-minimal), then distribute",
                    o.feasible ? "yes" : "NO",
@@ -95,6 +104,7 @@ int main(int argc, char** argv) {
     OptimizerConfig cfg;
     cfg.mem_limit_node_bytes = kNodeLimit4GB;
     cfg.enable_redistribution = false;
+    cfg.threads = threads;
     const Outcome o = run(tree, model, cfg);
     table.add_row({"integrated, redistribution disabled",
                    o.feasible ? "yes" : "NO",
@@ -105,6 +115,7 @@ int main(int argc, char** argv) {
   {
     // Reference point: unlimited memory (64-proc-style plan at P=16).
     OptimizerConfig cfg;
+    cfg.threads = threads;
     const Outcome o = run(tree, model, cfg);
     table.add_row({"no memory limit (reference lower bound)", "yes",
                    fixed(o.comm, 1), fixed(o.comm / best.comm, 2) + "x"});

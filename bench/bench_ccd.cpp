@@ -29,6 +29,7 @@ constexpr const char* kCcd = R"(
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("ccd", argc, argv);
 
   heading("CCD doubles residual (4 terms) — forest optimization");
@@ -60,15 +61,19 @@ int main(int argc, char** argv) {
         cfg.mem_limit_node_bytes =
             static_cast<std::uint64_t>(gb * 1'000'000'000.0);
         cfg.enable_replication_template = repl;
+        cfg.threads = threads;
         std::vector<std::string> row{std::to_string(procs),
                                      fixed(gb, 0) + " GB",
                                      repl ? "yes" : "no"};
         json::ObjectWriter fields;
         fields.field("procs", procs)
             .field("mem_limit_bytes", cfg.mem_limit_node_bytes)
-            .field("replication", repl);
+            .field("replication", repl)
+            .field("threads", threads);
+        const Stopwatch sw;
         try {
           ForestPlan plan = optimize_forest(forest, model, cfg);
+          fields.field("opt_wall_ms", sw.elapsed_s() * 1000);
           row.push_back(fixed(plan.total_comm_s, 1));
           row.push_back(fixed(plan.total_runtime_s(), 1));
           row.push_back(fixed(100 * plan.comm_fraction(), 1));
@@ -80,7 +85,8 @@ int main(int argc, char** argv) {
               .field("mem_per_node_bytes", plan.bytes_per_node);
         } catch (const InfeasibleError&) {
           row.insert(row.end(), {"INFEASIBLE", "-", "-", "-"});
-          fields.field("feasible", false);
+          fields.field("opt_wall_ms", sw.elapsed_s() * 1000)
+              .field("feasible", false);
         }
         out.row(fields);
         table.add_row(std::move(row));
@@ -95,6 +101,7 @@ int main(int argc, char** argv) {
   CharacterizedModel model(characterize_itanium(16));
   OptimizerConfig cfg;
   cfg.mem_limit_node_bytes = 16'000'000'000;
+  cfg.threads = threads;
   ForestPlan plan = optimize_forest(forest, model, cfg);
   std::size_t biggest = 0;
   for (std::size_t t = 1; t < plan.plans.size(); ++t) {

@@ -13,6 +13,7 @@
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
 #include "tce/common/strings.hpp"
+#include "tce/common/timer.hpp"
 #include "tce/common/units.hpp"
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
@@ -41,6 +42,30 @@ inline ContractionTree paper_tree() {
 
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Consumes a `--threads N` pair from argv (same protocol as
+/// BenchOutput's --json): the planner thread count for the run, 0
+/// (default, also the OptimizerConfig default) = all hardware threads,
+/// 1 = sequential.  Drivers pass the value into
+/// OptimizerConfig::threads and stamp `threads` plus the measured
+/// `opt_wall_ms` on every emitted row, so a bench JSON document records
+/// the parallelism its timings were taken at (docs/FORMATS.md).
+inline unsigned take_threads_arg(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads needs a count argument\n");
+        std::exit(2);
+      }
+      const auto n =
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return n;
+    }
+  }
+  return 0;
 }
 
 /// Machine-readable bench output (the `tce-bench/1` schema; see

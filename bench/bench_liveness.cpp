@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("liveness", argc, argv);
 
   heading("Memory accounting ablation — 16 processors, paper workload");
@@ -37,12 +38,15 @@ int main(int argc, char** argv) {
   for (double gb : {0.9, 1.0, 1.1, 1.3, 1.6, 2.0, 4.0, 9.0}) {
     OptimizerConfig summed;
     summed.mem_limit_node_bytes = static_cast<std::uint64_t>(gb * 1e9);
+    summed.threads = threads;
     OptimizerConfig live = summed;
     live.liveness_aware = true;
 
     std::vector<std::string> row{fixed(gb, 1) + " GB"};
     json::ObjectWriter fields;
-    fields.field("mem_limit_bytes", summed.mem_limit_node_bytes);
+    fields.field("mem_limit_bytes", summed.mem_limit_node_bytes)
+        .field("threads", threads);
+    const Stopwatch sw;
     try {
       OptimizedPlan p = optimize(tree, model, summed);
       row.push_back(fixed(p.total_comm_s, 1));
@@ -72,6 +76,8 @@ int main(int argc, char** argv) {
       row.push_back("-");
       fields.field("live_feasible", false);
     }
+    // Both planner invocations of this row (summed + live accounting).
+    fields.field("opt_wall_ms", sw.elapsed_s() * 1000);
     out.row(fields);
     table.add_row(std::move(row));
   }

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("memsweep", argc, argv);
 
   heading("Memory-limit sweep — 16 processors (8 nodes), paper workload");
@@ -27,12 +28,16 @@ int main(int argc, char** argv) {
     OptimizerConfig cfg;
     cfg.mem_limit_node_bytes =
         static_cast<std::uint64_t>(gb * 1'000'000'000.0);
+    cfg.threads = threads;
     const std::string label =
         gb == 0.0 ? "unlimited" : (fixed(gb, 1) + " GB");
     json::ObjectWriter fields;
-    fields.field("mem_limit_bytes", cfg.mem_limit_node_bytes);
+    fields.field("mem_limit_bytes", cfg.mem_limit_node_bytes)
+        .field("threads", threads);
+    const Stopwatch sw;
     try {
       OptimizedPlan plan = optimize(tree, model, cfg);
+      fields.field("opt_wall_ms", sw.elapsed_s() * 1000);
       std::string fused;
       for (const PlanStep& s : plan.steps) {
         if (!s.fusion.empty()) {
@@ -51,7 +56,8 @@ int main(int argc, char** argv) {
           .field("mem_per_node_bytes", plan.bytes_per_node());
     } catch (const InfeasibleError&) {
       table.add_row({label, "NO", "-", "-", "-", "-"});
-      fields.field("feasible", false);
+      fields.field("opt_wall_ms", sw.elapsed_s() * 1000)
+          .field("feasible", false);
     }
     out.row(fields);
   }

@@ -16,6 +16,9 @@ namespace {
 using namespace tce;
 using namespace tce::bench;
 
+/// Planner thread count for the optimizer benchmarks (--threads N).
+unsigned g_threads = 0;
+
 void BM_ParsePaperProgram(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(parse_formula_sequence(kPaperProgram));
@@ -29,6 +32,7 @@ void BM_OptimizerPaperTree(benchmark::State& state) {
   CharacterizedModel model(characterize_itanium(procs));
   OptimizerConfig cfg;
   cfg.mem_limit_node_bytes = kNodeLimit4GB;
+  cfg.threads = g_threads;
   for (auto _ : state) {
     benchmark::DoNotOptimize(optimize(tree, model, cfg));
   }
@@ -42,6 +46,7 @@ void BM_OptimizerWithReplication(benchmark::State& state) {
   OptimizerConfig cfg;
   cfg.mem_limit_node_bytes = kNodeLimit4GB;
   cfg.enable_replication_template = true;
+  cfg.threads = g_threads;
   for (auto _ : state) {
     benchmark::DoNotOptimize(optimize(tree, model, cfg));
   }
@@ -140,7 +145,9 @@ class CollectingReporter : public benchmark::ConsoleReporter {
                    .field("name", r.benchmark_name())
                    .field("iterations", r.iterations)
                    .field("real_time_ns", r.GetAdjustedRealTime())
-                   .field("cpu_time_ns", r.GetAdjustedCPUTime()));
+                   .field("cpu_time_ns", r.GetAdjustedCPUTime())
+                   .field("opt_wall_ms", r.GetAdjustedRealTime() / 1e6)
+                   .field("threads", g_threads));
     }
   }
 
@@ -151,7 +158,8 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchOutput out("micro", argc, argv);  // strips --json before gbench
+  g_threads = take_threads_arg(argc, argv);  // strips --threads
+  BenchOutput out("micro", argc, argv);      // strips --json before gbench
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CollectingReporter reporter(out);

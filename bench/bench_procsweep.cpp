@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("procsweep", argc, argv);
 
   heading("Processor-count sweep — 4 GB/node, paper workload");
@@ -23,7 +24,10 @@ int main(int argc, char** argv) {
     CharacterizedModel model(characterize_itanium(procs));
     OptimizerConfig cfg;
     cfg.mem_limit_node_bytes = kNodeLimit4GB;
+    cfg.threads = threads;
+    const Stopwatch sw;
     OptimizedPlan plan = optimize(tree, model, cfg);
+    const double opt_wall_ms = sw.elapsed_s() * 1000;
 
     std::string fused;
     for (const PlanStep& s : plan.steps) {
@@ -47,7 +51,9 @@ int main(int argc, char** argv) {
                 .field("comm_s", plan.total_comm_s)
                 .field("runtime_s", plan.total_runtime_s())
                 .field("comm_fraction", plan.comm_fraction())
-                .field("mem_per_node_bytes", plan.bytes_per_node()));
+                .field("mem_per_node_bytes", plan.bytes_per_node())
+                .field("opt_wall_ms", opt_wall_ms)
+                .field("threads", threads));
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

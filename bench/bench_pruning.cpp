@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("pruning", argc, argv);
 
   heading("Pruning effectiveness — §3.3's complexity claim");
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     OptimizerConfig cfg;
     cfg.mem_limit_node_bytes = limit;
     cfg.enable_replication_template = replication;
+    cfg.threads = threads;
     // Reset per scenario so the registry reads below are this run's
     // counts (the --json document's metrics section therefore reflects
     // the last scenario).
@@ -66,6 +68,8 @@ int main(int argc, char** argv) {
                 .field("kept", kept)
                 .field("max_per_node", max_per_node)
                 .field("search_ms", ms)
+                .field("opt_wall_ms", ms)
+                .field("threads", threads)
                 .field("comm_s", plan.total_comm_s));
   };
 

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("table1", argc, argv);
 
   heading("Table 1 — 64 processors (32 nodes), 4 GB/node");
@@ -23,7 +24,10 @@ int main(int argc, char** argv) {
 
   OptimizerConfig cfg;
   cfg.mem_limit_node_bytes = kNodeLimit4GB;
+  cfg.threads = threads;
+  const Stopwatch sw;
   OptimizedPlan plan = optimize(tree, model, cfg);
+  const double opt_wall_ms = sw.elapsed_s() * 1000;
 
   std::printf("\n%s\n", plan.table(tree.space()).c_str());
   std::printf("%s\n", plan.summary(tree.space()).c_str());
@@ -58,7 +62,9 @@ int main(int argc, char** argv) {
               .field("comm_fraction", plan.comm_fraction())
               .field("mem_per_node_bytes", plan.bytes_per_node())
               .field("buffer_per_node_bytes", plan.buffer_bytes_per_node())
-              .field("verifier_rules_checked", report.rules_checked));
+              .field("verifier_rules_checked", report.rules_checked)
+              .field("opt_wall_ms", opt_wall_ms)
+              .field("threads", threads));
   out.finish();
   return 0;
 }

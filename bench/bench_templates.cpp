@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace tce;
   using namespace tce::bench;
+  const unsigned threads = take_threads_arg(argc, argv);
   BenchOutput out("templates", argc, argv);
 
   heading("Execution-template ablation — 16 processors, paper workload");
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     OptimizerConfig base;
     base.mem_limit_node_bytes =
         static_cast<std::uint64_t>(gb * 1'000'000'000.0);
+    base.threads = threads;
     OptimizerConfig ext = base;
     ext.enable_replication_template = true;
     const std::string label =
@@ -39,7 +41,9 @@ int main(int argc, char** argv) {
     double cannon = 0;
     bool cannon_ok = true;
     json::ObjectWriter fields;
-    fields.field("mem_limit_bytes", base.mem_limit_node_bytes);
+    fields.field("mem_limit_bytes", base.mem_limit_node_bytes)
+        .field("threads", threads);
+    const Stopwatch sw;
     try {
       cannon = optimize(tree, model, base).total_comm_s;
       cannon_s = fixed(cannon, 1);
@@ -68,6 +72,8 @@ int main(int argc, char** argv) {
       ext_s = "INFEASIBLE";
       fields.field("replication_feasible", false);
     }
+    // Both planner invocations of this row (cannon-only + replication).
+    fields.field("opt_wall_ms", sw.elapsed_s() * 1000);
     out.row(fields);
     table.add_row({label, cannon_s, ext_s, speedup, used});
   }

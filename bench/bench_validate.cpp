@@ -17,6 +17,9 @@ namespace {
 using namespace tce;
 using namespace tce::bench;
 
+/// Planner thread count (--threads N) shared by every scenario below.
+unsigned g_threads = 0;
+
 // The paper workload scaled by 1/8 so the numeric run is cheap:
 // a..d = 60, e..f = 8, i..l = 4 — all divisible by the edge (4).
 constexpr const char* kScaledProgram = R"(
@@ -42,7 +45,10 @@ void predicted_vs_simulated(BenchOutput& out, const char* scenario,
   OptimizerConfig cfg;
   cfg.mem_limit_node_bytes = limit;
   cfg.enable_replication_template = replication;
+  cfg.threads = g_threads;
+  const Stopwatch sw;
   OptimizedPlan plan = optimize(tree, model, cfg);
+  const double opt_wall_ms = sw.elapsed_s() * 1000;
 
   TextTable table({"step", "fused", "predicted (s)", "simulated (s)",
                    "error"});
@@ -72,7 +78,9 @@ void predicted_vs_simulated(BenchOutput& out, const char* scenario,
               .field("error_pct",
                      sim_total > 0
                          ? 100.0 * (pred_total - sim_total) / sim_total
-                         : 0.0));
+                         : 0.0)
+              .field("opt_wall_ms", opt_wall_ms)
+              .field("threads", g_threads));
 }
 
 void numeric_validation(BenchOutput& out) {
@@ -83,7 +91,11 @@ void numeric_validation(BenchOutput& out) {
   const ProcGrid grid = ProcGrid::make(16, 2);
   Network net(ClusterSpec::itanium2003(8));
   CharacterizedModel model(characterize(net, grid));
-  OptimizedPlan plan = optimize(tree, model);  // unfused at this scale
+  OptimizerConfig ncfg;
+  ncfg.threads = g_threads;
+  const Stopwatch sw;
+  OptimizedPlan plan = optimize(tree, model, ncfg);  // unfused at this scale
+  const double opt_wall_ms = sw.elapsed_s() * 1000;
 
   std::map<NodeId, CannonChoice> choices;
   for (const PlanStep& s : plan.steps) choices[s.node] = s.choice;
@@ -102,7 +114,9 @@ void numeric_validation(BenchOutput& out) {
               .field("pass", diff < 1e-8)
               .field("executed_comm_s", run.timing.comm_s)
               .field("executed_compute_s", run.timing.compute_s)
-              .field("predicted_comm_s", plan.total_comm_s));
+              .field("predicted_comm_s", plan.total_comm_s)
+              .field("opt_wall_ms", opt_wall_ms)
+              .field("threads", g_threads));
   std::printf("simulated execution: comm %.2f s, compute %.2f s\n",
               run.timing.comm_s, run.timing.compute_s);
   std::printf("optimizer predicted: comm %.2f s\n", plan.total_comm_s);
@@ -116,6 +130,7 @@ void numeric_validation(BenchOutput& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_threads = tce::bench::take_threads_arg(argc, argv);
   BenchOutput out("validate", argc, argv);
   predicted_vs_simulated(
       out, "64 procs, unfused",

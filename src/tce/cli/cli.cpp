@@ -32,6 +32,9 @@ usage:
         --procs N            processors, a perfect square (default 16)
         --procs-per-node N   processors per node (default 2)
         --mem-limit SIZE     per-node limit, e.g. 4GB (default unlimited)
+        --threads N          planner worker threads; 0 = all hardware
+                             threads (default), 1 = sequential.  The
+                             plan is identical at every setting.
         --machine FILE       characterization file for the target machine
                              (default: measure the bundled simulated
                              itanium-2003 cluster)
@@ -206,6 +209,8 @@ std::string cmd_plan(Args args) {
   const auto per_node = static_cast<std::uint32_t>(
       std::stoul(args.take_option("--procs-per-node", "2")));
   const std::string limit_text = args.take_option("--mem-limit", "");
+  const auto threads = static_cast<unsigned>(
+      std::stoul(args.take_option("--threads", "0")));
   const bool no_fusion = args.take_flag("--no-fusion");
   const bool no_redist = args.take_flag("--no-redistribution");
   const bool replication = args.take_flag("--replication");
@@ -237,6 +242,7 @@ std::string cmd_plan(Args args) {
   cfg.enable_redistribution = !no_redist;
   cfg.enable_replication_template = replication;
   cfg.liveness_aware = liveness;
+  cfg.threads = threads;
 
   // A multi-output program is planned jointly as a forest.
   ContractionForest forest = ContractionForest::from_sequence(seq);
@@ -335,6 +341,8 @@ std::string cmd_validate(Args args) {
   const auto per_node = static_cast<std::uint32_t>(
       std::stoul(args.take_option("--procs-per-node", "2")));
   const std::string limit_text = args.take_option("--mem-limit", "");
+  const auto threads = static_cast<unsigned>(
+      std::stoul(args.take_option("--threads", "0")));
   const bool replication = args.take_flag("--replication");
   const bool liveness = args.take_flag("--liveness");
   const bool opmin = args.take_flag("--opmin");
@@ -356,6 +364,7 @@ std::string cmd_validate(Args args) {
   }
   cfg.enable_replication_template = replication;
   cfg.liveness_aware = liveness;
+  cfg.threads = threads;
   OptimizedPlan plan = optimize(tree, model, cfg);
 
   std::string out;

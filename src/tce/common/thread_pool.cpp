@@ -1,0 +1,213 @@
+#include "tce/common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tce {
+
+namespace {
+
+/// Shared state of one parallel_for call.  Chunk indices are claimed
+/// from `next`; `done` counts settled chunks (executed or skipped after
+/// a failure).  Per-chunk exceptions are kept by index so the rethrow
+/// is deterministic no matter which thread hit which chunk.
+struct ForState {
+  explicit ForState(std::size_t n_) : n(n_), errors(n_) {}
+
+  const std::size_t n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+
+  void drain(const std::function<void(std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == n) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+/// Group bookkeeping, heap-held: pull stubs enqueued on the pool keep a
+/// shared_ptr, so a stub that fires after the TaskGroup object is gone
+/// still touches live memory (and finds an empty queue).
+struct ThreadPool::TaskGroup::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::size_t in_flight = 0;  ///< Queued + currently running tasks.
+  std::exception_ptr error;
+  bool failed = false;
+
+  /// Pops and runs one queued task; returns false when none queued.
+  bool run_one() {
+    std::function<void()> task;
+    bool skip = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (queue.empty()) return false;
+      task = std::move(queue.front());
+      queue.pop_front();
+      skip = failed;
+    }
+    if (!skip) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!failed) {
+          failed = true;
+          error = std::current_exception();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (--in_flight == 0) cv.notify_all();
+    }
+    return true;
+  }
+};
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+unsigned ThreadPool::resolve_threads(unsigned requested) noexcept {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : std::min(hw, kMaxThreads);
+  }
+  return std::min(requested, kMaxThreads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ensure_workers(unsigned want) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < want && workers_.size() < kMaxThreads - 1) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, unsigned threads,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    // Exact sequential path: no pool, no state, in index order.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const unsigned helpers = static_cast<unsigned>(
+      std::min<std::size_t>(n - 1, std::min(threads, kMaxThreads) - 1));
+  ensure_workers(helpers);
+  auto state = std::make_shared<ForState>(n);
+  for (unsigned h = 0; h < helpers; ++h) {
+    enqueue([state, fn] { state->drain(fn); });
+  }
+  state->drain(fn);  // the caller participates — guaranteed progress
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done == state->n; });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state->errors[i]) std::rethrow_exception(state->errors[i]);
+  }
+}
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool& pool, unsigned threads)
+    : pool_(pool),
+      helpers_(threads <= 1 ? 0 : std::min(threads, kMaxThreads) - 1),
+      state_(std::make_shared<State>()) {
+  if (helpers_ > 0) pool_.ensure_workers(helpers_);
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  // Settle stragglers so queued lambdas never outlive their captures;
+  // wait() is the normal path and already did this.
+  try {
+    wait();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // wait() already surfaced this exception once; nothing actionable.
+  }
+}
+
+void ThreadPool::TaskGroup::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->in_flight;
+    state_->queue.push_back(std::move(task));
+    state_->cv.notify_all();  // a wait()er drains new work immediately
+  }
+  // Post a pull stub: whichever worker gets it runs *one* task of this
+  // group (possibly none, if the caller drained the queue first).
+  if (helpers_ > 0) {
+    pool_.enqueue([st = state_] { st->run_one(); });
+  }
+}
+
+void ThreadPool::TaskGroup::wait() {
+  State& st = *state_;
+  for (;;) {
+    if (!st.run_one()) {
+      std::unique_lock<std::mutex> lock(st.mu);
+      if (st.in_flight == 0) break;
+      // Tasks are in flight on other threads; they may submit more, so
+      // wake on every completion and retry the local drain.
+      st.cv.wait(lock,
+                 [&st] { return st.in_flight == 0 || !st.queue.empty(); });
+      if (st.in_flight == 0) break;
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    std::swap(err, st.error);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace tce

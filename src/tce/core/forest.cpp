@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tce/common/error.hpp"
+#include "tce/common/thread_pool.hpp"
 
 namespace tce {
 
@@ -48,11 +49,15 @@ ForestPlan optimize_forest(const ContractionForest& forest,
 
   // Per-tree Pareto frontiers (a per-tree InfeasibleError propagates —
   // if one tree cannot fit alone, the program cannot).
-  std::vector<std::vector<OptimizedPlan>> frontiers;
-  frontiers.reserve(forest.trees.size());
-  for (const ContractionTree& tree : forest.trees) {
-    frontiers.push_back(optimize_frontier(tree, model, config));
-  }
+  // Trees are independent searches, so they run concurrently on the
+  // shared pool; each inner search fans out on the same pool, which
+  // caps total parallelism at the configured thread count.
+  const unsigned threads = ThreadPool::resolve_threads(config.threads);
+  std::vector<std::vector<OptimizedPlan>> frontiers(forest.trees.size());
+  ThreadPool::shared().parallel_for(
+      forest.trees.size(), threads, [&](std::size_t t) {
+        frontiers[t] = optimize_frontier(forest.trees[t], model, config);
+      });
 
   const bool liveness = config.liveness_aware;
   auto metric = [&](const State& s) {

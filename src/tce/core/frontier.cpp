@@ -1,0 +1,43 @@
+#include "tce/core/frontier.hpp"
+
+#include <algorithm>
+
+namespace tce {
+
+std::vector<std::uint32_t> pareto_min_filter(
+    std::vector<FrontierPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.metric != b.metric) return a.metric < b.metric;
+              if (a.max_msg != b.max_msg) return a.max_msg < b.max_msg;
+              return a.idx < b.idx;
+            });
+  // Sweep in sorted order.  Every potential dominator of a point sorts
+  // before it (lexicographic ≤ on the triple), so a point survives iff
+  // no already-kept point has metric ≤ its metric AND max_msg ≤ its
+  // max_msg — equality on all three coordinates is the duplicate case
+  // and collapses onto the earlier (lower idx) point.  The staircase
+  // maps metric → the minimum max_msg among kept points with metric ≤
+  // that value; it stays strictly decreasing in max_msg.
+  std::map<std::uint64_t, std::uint64_t> staircase;
+  std::vector<std::uint32_t> kept;
+  kept.reserve(points.size());
+  for (const FrontierPoint& p : points) {
+    auto it = staircase.upper_bound(p.metric);
+    if (it != staircase.begin() && std::prev(it)->second <= p.max_msg) {
+      continue;  // dominated, or an exact duplicate of a kept point
+    }
+    kept.push_back(p.idx);
+    // Insert (metric, max_msg) and restore monotonicity: drop kept
+    // steps at metric ≥ p.metric whose max_msg is no better.
+    auto at = staircase.lower_bound(p.metric);
+    while (at != staircase.end() && at->second >= p.max_msg) {
+      at = staircase.erase(at);
+    }
+    staircase.emplace(p.metric, p.max_msg);
+  }
+  return kept;
+}
+
+}  // namespace tce

@@ -1,11 +1,15 @@
 #include "tce/core/optimizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <unordered_map>
 
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
+#include "tce/common/thread_pool.hpp"
 #include "tce/common/timer.hpp"
+#include "tce/core/frontier.hpp"
 #include "tce/costmodel/characterization.hpp"
 #include "tce/costmodel/rotate_cost.hpp"
 #include "tce/fusion/fused.hpp"
@@ -35,6 +39,13 @@ struct Sol {
                               ///< children's working sets).
   std::uint64_t input_bytes = 0;  ///< Σ input blocks in the subtree.
 
+  /// Position in the node's canonical sequential enumeration order
+  /// (work-unit index in the high bits, within-unit counter in the low
+  /// bits).  Dominance ties resolve toward the lower seq, which makes
+  /// the surviving frontier independent of how the enumeration was
+  /// chunked across threads; see frontier.hpp.
+  std::uint64_t seq = 0;
+
   // Provenance.
   bool replicated = false;      ///< Step template: replicate-compute-reduce.
   bool replicate_right = false; ///< Which operand was replicated.
@@ -49,16 +60,32 @@ struct Sol {
   double redist_left = 0, redist_right = 0;
 };
 
-/// Weak Pareto dominance; the memory metrics compared depend on the
-/// accounting mode.
+/// Pareto dominance with a deterministic tie-break; the memory metrics
+/// compared depend on the accounting mode.  a dominates b when a is
+/// weakly ≤ b on every compared metric and either strictly better
+/// somewhere or (all-tied) earlier in enumeration order.  That makes
+/// the relation a strict partial order, so a frontier's surviving set
+/// is its unique maximal set — independent of insertion order — and it
+/// coincides with what the former weak-dominance sequential insertion
+/// kept.
 bool dominates(const Sol& a, const Sol& b, bool liveness) {
   if (a.cost > b.cost || a.max_msg > b.max_msg) return false;
+  bool strict = a.cost < b.cost || a.max_msg < b.max_msg;
   if (liveness) {
-    return a.input_bytes + a.peak <= b.input_bytes + b.peak &&
-           a.working <= b.working;
+    const std::uint64_t am = a.input_bytes + a.peak;
+    const std::uint64_t bm = b.input_bytes + b.peak;
+    if (am > bm || a.working > b.working) return false;
+    strict = strict || am < bm || a.working < b.working;
+  } else {
+    if (a.mem > b.mem) return false;
+    strict = strict || a.mem < b.mem;
   }
-  return a.mem <= b.mem;
+  return strict || a.seq < b.seq;
 }
+
+/// (distribution, fusion) bucket key of the per-node frontier.
+using StateKey = std::pair<Distribution, IndexSet>;
+using SolFrontier = KeyedFrontier<StateKey, Sol>;
 
 /// One way of obtaining an operand with a required distribution.
 struct Operand {
@@ -74,6 +101,126 @@ struct Operand {
   IndexSet loop_indices;  ///< Child loop nest (for the nesting rule).
 };
 
+/// Per-node (and, during the fan-out, per-chunk) search effort.  The
+/// chunk accumulators are summed in chunk order, so every total is
+/// independent of the thread count; per-node rows and the grand totals
+/// in OptimizerStats are rolled up from these in post order.
+struct NodeAccum {
+  std::uint64_t candidates = 0;
+  std::uint64_t infeasible = 0;
+  std::uint64_t dominated = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t redistributions = 0;
+  std::uint64_t lookups = 0;         ///< Characterization-curve evals.
+  std::uint64_t extrapolations = 0;
+  double wall_s = 0;
+
+  void add(const NodeAccum& o) {
+    candidates += o.candidates;
+    infeasible += o.infeasible;
+    dominated += o.dominated;
+    redistributions += o.redistributions;
+    lookups += o.lookups;
+    extrapolations += o.extrapolations;
+  }
+};
+
+/// Captures the thread-local characterization-curve counters around a
+/// contiguous region of work on one thread and credits the delta to a
+/// NodeAccum.  Regions never nest (prologue / chunk / reduce bodies).
+class CurveScope {
+ public:
+  explicit CurveScope(NodeAccum& acc)
+      : acc_(acc), before_(curve_counters()) {}
+  ~CurveScope() {
+    const CurveCounters after = curve_counters();
+    acc_.lookups += after.lookups - before_.lookups;
+    acc_.extrapolations += after.extrapolations - before_.extrapolations;
+  }
+  CurveScope(const CurveScope&) = delete;
+  CurveScope& operator=(const CurveScope&) = delete;
+
+ private:
+  NodeAccum& acc_;
+  const CurveCounters before_;
+};
+
+/// Memoized geometry for the hot inner loops: per-processor block
+/// bytes (dist_bytes) keyed by (array, distribution, fusion), total
+/// fused-slice bytes (fused_bytes) and fused-loop repeat factors keyed
+/// by the fused set.  One instance per work chunk — never shared
+/// across threads — so lookups are lock-free; the functions are pure,
+/// so caching cannot change any result.
+class GeomCache {
+ public:
+  GeomCache(const IndexSpace& space, const ProcGrid& grid)
+      : space_(space), grid_(grid) {}
+
+  std::uint64_t bytes(const TensorRef& v, const Distribution& d,
+                      IndexSet fused) {
+    const Key k{&v, fused.bits(), pack(d)};
+    auto [it, fresh] = bytes_.try_emplace(k, 0);
+    if (fresh) it->second = dist_bytes(v, d, fused, space_, grid_);
+    return it->second;
+  }
+
+  std::uint64_t fused_total(const TensorRef& v, IndexSet fused) {
+    const Key k{&v, fused.bits(), kFusedTag};
+    auto [it, fresh] = bytes_.try_emplace(k, 0);
+    if (fresh) it->second = fused_bytes(v, fused, space_);
+    return it->second;
+  }
+
+  /// Π N_j over the fused set (fused indices are never distributed).
+  double repeat(IndexSet fused) {
+    auto [it, fresh] = repeat_.try_emplace(fused.bits(), 0.0);
+    if (fresh) {
+      double r = 1.0;
+      for (IndexId j : fused) r *= static_cast<double>(space_.extent(j));
+      it->second = r;
+    }
+    return it->second;
+  }
+
+ private:
+  static constexpr std::uint32_t kFusedTag = 0xFFFF0000;
+
+  static std::uint32_t pack(const Distribution& d) {
+    return (static_cast<std::uint32_t>(d.at(1)) << 8) |
+           static_cast<std::uint32_t>(d.at(2));
+  }
+
+  struct Key {
+    const void* v;
+    std::uint64_t fused;
+    std::uint32_t dist;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = reinterpret_cast<std::uintptr_t>(k.v);
+      h = (h ^ k.fused) * 0x9E3779B97F4A7C15ull;
+      h = (h ^ k.dist) * 0xC2B2AE3D27D4EB4Full;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  const IndexSpace& space_;
+  const ProcGrid& grid_;
+  std::unordered_map<Key, std::uint64_t, KeyHash> bytes_;
+  std::unordered_map<std::uint64_t, double> repeat_;
+};
+
+/// One outer work unit of the replicate-compute-reduce enumeration
+/// (solve_replicated's four outermost loop variables); the j_pick /
+/// fusion / operand nest runs inside the unit.
+struct ReplUnit {
+  bool repl_right = false;
+  IndexId s_r = kNoIndex;
+  IndexId s_k = kNoIndex;
+  bool tr = false;
+};
+
 class Search {
  public:
   Search(const ContractionTree& tree, const MachineModel& model,
@@ -82,56 +229,34 @@ class Search {
         model_(model),
         cfg_(cfg),
         grid_(model.grid()),
-        space_(tree.space()) {}
+        space_(tree.space()),
+        threads_(ThreadPool::resolve_threads(cfg.threads)) {}
 
   OptimizedPlan run() {
     solve_all();
     return extract_plan(best_root_sol());
   }
 
-  /// The Pareto frontier of full-tree plans over (cost, memory metric):
-  /// every trade-off between communication and memory the tree admits
-  /// under the configuration.  Sorted by increasing cost.
+  /// The Pareto frontier of full-tree plans over (cost, memory metric,
+  /// largest message): every trade-off the tree admits under the
+  /// configuration.  Sorted by increasing cost; exact-triple duplicates
+  /// collapse onto the earliest-enumerated representative.
   std::vector<OptimizedPlan> run_frontier() {
     solve_all();
-    const auto& root_sols = sols_.at(tree_.root());
+    const auto& root_sols = sols_[static_cast<std::size_t>(tree_.root())];
     // Global Pareto filter across all root solutions, over
     // (cost, memory metric, largest message) — the send/recv transient
     // matters to downstream consumers (forest composition) just like
-    // array memory, so it must survive as its own dimension.
-    std::vector<const Sol*> frontier;
-    for (const Sol& s : root_sols) {
-      bool dominated = false;
-      for (const Sol& t : root_sols) {
-        if (&t == &s) continue;
-        const bool leq = t.cost <= s.cost && metric(t) <= metric(s) &&
-                         t.max_msg <= s.max_msg;
-        const bool strict = t.cost < s.cost || metric(t) < metric(s) ||
-                            t.max_msg < s.max_msg;
-        if (leq && strict) {
-          dominated = true;
-          break;
-        }
-      }
-      if (!dominated) frontier.push_back(&s);
+    // array memory, so it must survive as its own dimension.  The
+    // near-linear sweep replaces the former all-pairs scan.
+    std::vector<FrontierPoint> points(root_sols.size());
+    for (std::size_t i = 0; i < root_sols.size(); ++i) {
+      points[i] = {root_sols[i].cost, metric(root_sols[i]),
+                   root_sols[i].max_msg, static_cast<std::uint32_t>(i)};
     }
-    std::sort(frontier.begin(), frontier.end(),
-              [&](const Sol* a, const Sol* b) {
-                if (a->cost != b->cost) return a->cost < b->cost;
-                if (metric(*a) != metric(*b)) {
-                  return metric(*a) < metric(*b);
-                }
-                return a->max_msg < b->max_msg;
-              });
-    // Drop duplicates (equal on all three coordinates).
     std::vector<OptimizedPlan> plans;
-    for (std::size_t i = 0; i < frontier.size(); ++i) {
-      if (i > 0 && frontier[i]->cost == frontier[i - 1]->cost &&
-          metric(*frontier[i]) == metric(*frontier[i - 1]) &&
-          frontier[i]->max_msg == frontier[i - 1]->max_msg) {
-        continue;
-      }
-      plans.push_back(extract_plan(frontier[i]));
+    for (std::uint32_t idx : pareto_min_filter(std::move(points))) {
+      plans.push_back(extract_plan(&root_sols[idx]));
     }
     return plans;
   }
@@ -141,28 +266,44 @@ class Search {
 
   void solve_all() {
     const Stopwatch total;
-    const CurveCounters curves_before = curve_counters();
-    for (NodeId id : tree_.post_order()) {
-      const ContractionNode& n = tree_.node(id);
-      if (n.kind == ContractionNode::Kind::kInput) continue;
-      const OptimizerStats before = stats_;
-      const Stopwatch node_watch;
-      switch (n.kind) {
-        case ContractionNode::Kind::kContraction:
-          solve_contraction(id);
-          break;
-        case ContractionNode::Kind::kReduce:
-          solve_reduce(id);
-          break;
-        case ContractionNode::Kind::kInput:
-          break;
+    sols_.assign(tree_.size(), {});
+    accums_.assign(tree_.size(), {});
+    const std::vector<NodeId> order = tree_.post_order();
+    std::vector<NodeId> internal;
+    for (NodeId id : order) {
+      if (tree_.node(id).kind != ContractionNode::Kind::kInput) {
+        internal.push_back(id);
       }
-      note_node_done(id, n, before, node_watch.elapsed_s());
     }
-    const CurveCounters curves_after = curve_counters();
-    stats_.table_lookups = curves_after.lookups - curves_before.lookups;
-    stats_.extrapolations =
-        curves_after.extrapolations - curves_before.extrapolations;
+
+    if (threads_ <= 1 || internal.size() <= 1) {
+      for (NodeId id : internal) solve_node(id);
+    } else {
+      solve_all_parallel(internal);
+    }
+
+    // Deterministic roll-up in post order: per-node rows first, then
+    // the grand totals.  Chunk/thread scheduling is invisible here.
+    for (NodeId id : internal) {
+      const NodeAccum& a = accums_[static_cast<std::size_t>(id)];
+      NodeSearchStats ns;
+      ns.node = id;
+      ns.result_name = tree_.node(id).tensor.name;
+      ns.candidates = a.candidates;
+      ns.infeasible = a.infeasible;
+      ns.dominated = a.dominated;
+      ns.kept = a.kept;
+      ns.wall_s = a.wall_s;
+      stats_.nodes.push_back(ns);
+      stats_.candidates += a.candidates;
+      stats_.infeasible += a.infeasible;
+      stats_.dominated += a.dominated;
+      stats_.kept += a.kept;
+      stats_.max_per_node = std::max(stats_.max_per_node, a.kept);
+      stats_.redistributions += a.redistributions;
+      stats_.table_lookups += a.lookups;
+      stats_.extrapolations += a.extrapolations;
+    }
     stats_.search_wall_s = total.elapsed_s();
     if (obs::metrics_enabled()) {
       obs::count("opt.curve.lookups", stats_.table_lookups);
@@ -171,34 +312,84 @@ class Search {
     }
   }
 
-  /// Per-node accounting after one solve_* call: the delta against the
-  /// running totals is this node's effort.  Feeds OptimizerStats.nodes,
-  /// the metrics registry (opt.*) and a dp.node trace span.
+  /// Dependency-counted scheduling of independent subtrees: a node is
+  /// submitted once its internal children are solved, so sibling
+  /// subtrees run concurrently on the shared pool.  The frontier each
+  /// node produces is thread-count independent, hence so is every
+  /// downstream consumer.
+  void solve_all_parallel(const std::vector<NodeId>& internal) {
+    std::vector<std::atomic<int>> pending(tree_.size());
+    auto is_internal_child = [&](NodeId c) {
+      return c != kNoNode &&
+             tree_.node(c).kind != ContractionNode::Kind::kInput;
+    };
+    // Snapshot the seed set from the static tree structure BEFORE any
+    // task runs: once tasks are in flight they decrement `pending`
+    // concurrently, so "pending == 0" no longer distinguishes an
+    // initially-ready node from one a finishing child just released
+    // (and is about to submit itself) — reading it late double-submits.
+    std::vector<NodeId> seeds;
+    for (NodeId id : internal) {
+      const ContractionNode& n = tree_.node(id);
+      const int deps = (is_internal_child(n.left) ? 1 : 0) +
+                       (is_internal_child(n.right) ? 1 : 0);
+      pending[static_cast<std::size_t>(id)].store(
+          deps, std::memory_order_relaxed);
+      if (deps == 0) seeds.push_back(id);
+    }
+    ThreadPool::TaskGroup group(ThreadPool::shared(), threads_);
+    std::function<void(NodeId)> submit_node = [&](NodeId id) {
+      group.submit([this, &submit_node, &pending, id] {
+        solve_node(id);
+        const NodeId p = tree_.node(id).parent;
+        if (p != kNoNode &&
+            pending[static_cast<std::size_t>(p)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          submit_node(p);
+        }
+      });
+    };
+    for (NodeId id : seeds) submit_node(id);
+    group.wait();
+  }
+
+  void solve_node(NodeId id) {
+    const ContractionNode& n = tree_.node(id);
+    NodeAccum& acc = accums_[static_cast<std::size_t>(id)];
+    const Stopwatch watch;
+    switch (n.kind) {
+      case ContractionNode::Kind::kContraction:
+        solve_contraction(id, acc);
+        break;
+      case ContractionNode::Kind::kReduce:
+        solve_reduce(id, acc);
+        break;
+      case ContractionNode::Kind::kInput:
+        return;
+    }
+    acc.kept = sols_[static_cast<std::size_t>(id)].size();
+    acc.wall_s = watch.elapsed_s();
+    note_node_done(id, n, acc);
+  }
+
+  /// Per-node observability after one solve_* call.  Runs on whichever
+  /// thread solved the node; the metrics registry and trace sink are
+  /// thread-safe, and counter totals are order-independent.
   void note_node_done(NodeId id, const ContractionNode& n,
-                      const OptimizerStats& before, double wall_s) {
-    NodeSearchStats ns;
-    ns.node = id;
-    ns.result_name = n.tensor.name;
-    ns.candidates = stats_.candidates - before.candidates;
-    ns.infeasible = stats_.infeasible - before.infeasible;
-    ns.dominated = stats_.dominated - before.dominated;
-    ns.kept = stats_.kept - before.kept;
-    ns.wall_s = wall_s;
-    stats_.nodes.push_back(ns);
+                      const NodeAccum& acc) {
     if (obs::metrics_enabled()) {
       obs::count("opt.nodes");
-      obs::count("opt.candidates", ns.candidates);
-      obs::count("opt.infeasible", ns.infeasible);
-      obs::count("opt.dominated", ns.dominated);
-      obs::count("opt.kept", ns.kept);
-      obs::count("opt.redistributions",
-                 stats_.redistributions - before.redistributions);
-      obs::observe("opt.frontier", static_cast<double>(ns.kept));
-      obs::observe("opt.node_wall_s", wall_s);
+      obs::count("opt.candidates", acc.candidates);
+      obs::count("opt.infeasible", acc.infeasible);
+      obs::count("opt.dominated", acc.dominated);
+      obs::count("opt.kept", acc.kept);
+      obs::count("opt.redistributions", acc.redistributions);
+      obs::observe("opt.frontier", static_cast<double>(acc.kept));
+      obs::observe("opt.node_wall_s", acc.wall_s);
     }
     if (obs::trace_enabled()) {
       const std::uint64_t dur_us =
-          static_cast<std::uint64_t>(wall_s * 1e6);
+          static_cast<std::uint64_t>(acc.wall_s * 1e6);
       const std::uint64_t now_us = obs::trace_now_us();
       obs::trace_complete(
           "dp.node " + n.tensor.name, "optimizer",
@@ -206,10 +397,10 @@ class Search {
           json::ObjectWriter()
               .field("node", static_cast<std::uint64_t>(id))
               .field("result", n.tensor.name)
-              .field("candidates", ns.candidates)
-              .field("infeasible", ns.infeasible)
-              .field("dominated", ns.dominated)
-              .field("kept", ns.kept)
+              .field("candidates", acc.candidates)
+              .field("infeasible", acc.infeasible)
+              .field("dominated", acc.dominated)
+              .field("kept", acc.kept)
               .str());
     }
   }
@@ -225,7 +416,7 @@ class Search {
     if (tree_.node(root).kind == ContractionNode::Kind::kInput) {
       throw Error("optimize: tree is a single input array");
     }
-    const auto& root_sols = sols_.at(root);
+    const auto& root_sols = sols_[static_cast<std::size_t>(root)];
     const Sol* best = nullptr;
     for (const Sol& s : root_sols) {
       if (best == nullptr || s.cost < best->cost) best = &s;
@@ -265,18 +456,53 @@ class Search {
     return r;
   }
 
-  /// All ways to obtain the operand rooted at \p child with distribution
-  /// \p beta, given the consuming node's triplet indices.  When
-  /// \p any_dist is set (the replicated operand of a
-  /// replicate-compute-reduce step), the required distribution is
-  /// irrelevant — the allgather collects the array from whatever layout
-  /// it is in — so every child solution qualifies without
+  // ------------------------------------------------ operand memoization
+
+  /// Key of one memoized operand-options scan: which child, consumed in
+  /// which distribution, under which triplet (and whether any stored
+  /// layout qualifies — the replicated-operand case).
+  struct OperandKey {
+    NodeId child = kNoNode;
+    std::uint8_t d1 = kNoIndex;
+    std::uint8_t d2 = kNoIndex;
+    bool any_dist = false;
+    std::uint64_t triplet = 0;
+
+    friend bool operator<(const OperandKey& a, const OperandKey& b) {
+      if (a.child != b.child) return a.child < b.child;
+      if (a.d1 != b.d1) return a.d1 < b.d1;
+      if (a.d2 != b.d2) return a.d2 < b.d2;
+      if (a.any_dist != b.any_dist) return a.any_dist < b.any_dist;
+      return a.triplet < b.triplet;
+    }
+  };
+  using OperandCache = std::map<OperandKey, std::vector<Operand>>;
+
+  static OperandKey operand_key(NodeId child, const Distribution& beta,
+                                IndexSet triplet, bool any_dist) {
+    return {child, beta.at(1), beta.at(2), any_dist, triplet.bits()};
+  }
+
+  /// Computes (once per key) all ways to obtain the operand rooted at
+  /// \p child with distribution \p beta, given the consuming node's
+  /// triplet indices.  When \p any_dist is set (the replicated operand
+  /// of a replicate-compute-reduce step), the required distribution is
+  /// irrelevant — the allgather collects the array from whatever
+  /// layout it is in — so every child solution qualifies without
   /// redistribution; \p beta is then only used for a leaf's storage
-  /// accounting.
-  std::vector<Operand> operand_options(NodeId child,
-                                       const Distribution& beta,
-                                       IndexSet triplet,
-                                       bool any_dist = false) const {
+  /// accounting.  The Cannon choices of one triplet differ only in
+  /// rotation index and orientation, so this scan used to repeat per
+  /// choice; the cache runs it once.
+  const std::vector<Operand>& ensure_operands(OperandCache& cache,
+                                              NodeId child,
+                                              const Distribution& beta,
+                                              IndexSet triplet,
+                                              bool any_dist,
+                                              NodeAccum& acc) const {
+    const OperandKey key = operand_key(child, beta, triplet, any_dist);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+
     const ContractionNode& cn = tree_.node(child);
     std::vector<Operand> out;
     if (cn.kind == ContractionNode::Kind::kInput) {
@@ -285,9 +511,9 @@ class Search {
       o.mem = dist_bytes(cn.tensor, beta, IndexSet(), space_, grid_);
       o.input_bytes = o.mem;  // inputs stay resident throughout
       out.push_back(o);
-      return out;
+      return cache.emplace(key, std::move(out)).first->second;
     }
-    const auto& sols = sols_.at(child);
+    const auto& sols = sols_[static_cast<std::size_t>(child)];
     for (int i = 0; i < static_cast<int>(sols.size()); ++i) {
       const Sol& s = sols[static_cast<std::size_t>(i)];
       if (!(s.fusion & triplet).empty()) continue;
@@ -306,7 +532,7 @@ class Search {
       } else if (cfg_.enable_redistribution && s.fusion.empty()) {
         // A fully materialized intermediate can be reshuffled once,
         // outside any fused loops.
-        ++stats_.redistributions;
+        ++acc.redistributions;
         o.redist = redistribute_cost(model_, cn.tensor, s.dist, beta,
                                      IndexSet(), space_);
         o.max_msg = std::max(
@@ -315,7 +541,7 @@ class Search {
         out.push_back(o);
       }
     }
-    return out;
+    return cache.emplace(key, std::move(out)).first->second;
   }
 
   /// A compact storage distribution for a leaf (used for the replicated
@@ -346,323 +572,397 @@ class Search {
         static_cast<std::uint64_t>((dup - 1.0) * share));
   }
 
-  /// Insert with in-place Pareto pruning within the (dist, fusion) state.
-  void insert_pruned(std::vector<Sol>& sols, Sol s) {
-    const bool lv = cfg_.liveness_aware;
-    for (const Sol& t : sols) {
-      if (t.dist == s.dist && t.fusion == s.fusion && dominates(t, s, lv)) {
-        ++stats_.dominated;
-        return;
-      }
-    }
-    std::erase_if(sols, [&](const Sol& t) {
-      if (t.dist == s.dist && t.fusion == s.fusion &&
-          dominates(s, t, lv)) {
-        ++stats_.dominated;
-        return true;
-      }
-      return false;
-    });
-    sols.push_back(std::move(s));
-  }
-
-  /// Bookkeeping shared by the solve_* functions after a node completes.
-  void note_node_solved(const std::vector<Sol>& sols) {
-    stats_.kept += sols.size();
-    stats_.max_per_node =
-        std::max<std::uint64_t>(stats_.max_per_node, sols.size());
-  }
-
   // ------------------------------------------------------- contraction
 
-  void solve_contraction(NodeId id) {
-    const ContractionNode& n = tree_.node(id);
-    const auto choices = enumerate_cannon_choices(n);
-    const auto fusions = fusion_candidates(id);
-
-    std::vector<Sol> sols;
-    for (const CannonChoice& c : choices) {
-      IndexSet triplet;
-      for (IndexId t : {c.i, c.j, c.k}) {
-        if (t != kNoIndex) triplet.insert(t);
-      }
-      const double dup_penalty = duplication_penalty(
-          id, static_cast<int>(triplet.count()) - 1);
-      const Distribution alpha = c.result_dist();
-      const Distribution beta = c.left_dist();
-      const Distribution gamma = c.right_dist();
-
-      const auto lopts = operand_options(n.left, beta, triplet);
-      const auto ropts = operand_options(n.right, gamma, triplet);
-
-      for (IndexSet f_u : fusions) {
-        if (!(f_u & triplet).empty()) continue;
-        const std::uint64_t own_mem =
-            dist_bytes(n.tensor, alpha, f_u, space_, grid_);
-
-        for (const Operand& lo : lopts) {
-          if (!fusion_nesting_ok(f_u, lo.fusion, lo.loop_indices)) continue;
-          for (const Operand& ro : ropts) {
-            if (!fusion_nesting_ok(f_u, ro.fusion, ro.loop_indices)) {
-              continue;
-            }
-            const IndexSet f_eff = f_u | lo.fusion | ro.fusion;
-            const double repeat = repeat_factor(f_eff);
-
-            const TensorRef& lref = tree_.node(n.left).tensor;
-            const TensorRef& rref = tree_.node(n.right).tensor;
-
-            Sol s;
-            s.dist = alpha;
-            s.fusion = f_u;
-            s.choice = c;
-            s.left_sol = lo.sol;
-            s.right_sol = ro.sol;
-            s.left_dist = beta;
-            s.right_dist = gamma;
-            s.eff_fused = f_eff;
-            s.redist_left = lo.redist;
-            s.redist_right = ro.redist;
-
-            std::uint64_t msg = std::max(lo.max_msg, ro.max_msg);
-            if (c.rotates_left()) {
-              const std::uint64_t block =
-                  dist_bytes(lref, beta, f_eff, space_, grid_);
-              s.rot_left =
-                  repeat * model_.rotate_cost(block, c.left_rot_dim());
-              msg = std::max(msg, block);
-            }
-            if (c.rotates_right()) {
-              const std::uint64_t block =
-                  dist_bytes(rref, gamma, f_eff, space_, grid_);
-              s.rot_right =
-                  repeat * model_.rotate_cost(block, c.right_rot_dim());
-              msg = std::max(msg, block);
-            }
-            if (c.rotates_result()) {
-              const std::uint64_t block =
-                  dist_bytes(n.tensor, alpha, f_eff, space_, grid_);
-              s.rot_result =
-                  repeat * model_.rotate_cost(block, c.result_rot_dim());
-              msg = std::max(msg, block);
-            }
-
-            s.cost = lo.cost + ro.cost + lo.redist + ro.redist +
-                     s.rot_left + s.rot_right + s.rot_result +
-                     dup_penalty;
-            s.mem = checked_add(checked_add(lo.mem, ro.mem), own_mem);
-            s.max_msg = msg;
-            // Liveness: left subtree runs, then right (left's working set
-            // retained), then this node's loops with both operands and
-            // the accumulator live.
-            s.input_bytes = checked_add(lo.input_bytes, ro.input_bytes);
-            s.peak = std::max(
-                {lo.peak, checked_add(lo.working, ro.peak),
-                 checked_add(checked_add(lo.working, ro.working),
-                             own_mem)});
-            // A node fused with its parent re-executes inside the
-            // parent's loops, so *all* of its operands' working sets
-            // stay live alongside its slice buffer; an unfused node is
-            // materialized once and its operands are freed.
-            s.working = own_mem;
-            if (!f_u.empty()) {
-              s.working = checked_add(
-                  s.working, checked_add(lo.working, ro.working));
-            }
-
-            ++stats_.candidates;
-            if (!feasible(s)) {
-              ++stats_.infeasible;
-              continue;
-            }
-            insert_pruned(sols, std::move(s));
-          }
-        }
-      }
+  static IndexSet triplet_of(const CannonChoice& c) {
+    IndexSet triplet;
+    for (IndexId t : {c.i, c.j, c.k}) {
+      if (t != kNoIndex) triplet.insert(t);
     }
-    if (cfg_.enable_replication_template) {
-      solve_replicated(id, fusions, sols);
-    }
-
-    if (sols.empty()) {
-      throw InfeasibleError(
-          "no feasible solution at node producing '" + n.tensor.name +
-          "' under the memory limit");
-    }
-    note_node_solved(sols);
-    sols_[id] = std::move(sols);
+    return triplet;
   }
 
-  // ----------------------------------------- replicate-compute-reduce
-
-  /// Enumerates replicate-compute-reduce executions of node \p id (see
-  /// OptimizerConfig::enable_replication_template): one operand is
-  /// gathered whole onto every processor, the other stays put in a
-  /// ⟨s_r, s_k⟩ block distribution, and the result partials are combined
-  /// with a reduce-scatter along the grid dimension holding s_k,
-  /// scattered there by j_pick.
-  void solve_replicated(NodeId id, const std::vector<IndexSet>& fusions,
-                        std::vector<Sol>& sols) {
-    const ContractionNode& n = tree_.node(id);
-    auto with_none = [](IndexSet set) {
-      std::vector<IndexId> v;
-      for (IndexId i : set) v.push_back(i);
-      v.push_back(kNoIndex);
-      return v;
-    };
-
+  /// The outer replicate-compute-reduce units, in the sequential
+  /// enumeration order of the nested loops they replace.
+  std::vector<ReplUnit> repl_unit_list(const ContractionNode& n) const {
+    std::vector<ReplUnit> units;
     for (bool repl_right : {false, true}) {
-      const NodeId stat_id = repl_right ? n.left : n.right;
-      const NodeId repl_id = repl_right ? n.right : n.left;
-      const TensorRef& stat_ref = tree_.node(stat_id).tensor;
-      const TensorRef& repl_ref = tree_.node(repl_id).tensor;
       const IndexSet stat_side =
           repl_right ? n.left_indices : n.right_indices;
-      const IndexSet repl_side =
-          repl_right ? n.right_indices : n.left_indices;
-      (void)stat_ref;
-
       for (IndexId s_r : with_none(stat_side)) {
         for (IndexId s_k : with_none(n.sum_indices)) {
           for (bool tr : {false, true}) {
             if (s_r == kNoIndex && s_k == kNoIndex && tr) continue;
-            Distribution delta(s_r, s_k);
-            if (tr) delta = delta.transposed();
-            const int reduce_dim = delta.dim_of(s_k);
-            const int split_dims = (s_r != kNoIndex ? 1 : 0) +
-                                   (s_k != kNoIndex ? 1 : 0);
-            const double dup_penalty = duplication_penalty(id, split_dims);
+            units.push_back({repl_right, s_r, s_k, tr});
+          }
+        }
+      }
+    }
+    return units;
+  }
 
-            const auto stat_opts_base = [&] {
-              IndexSet trip;
-              if (s_r != kNoIndex) trip.insert(s_r);
-              if (s_k != kNoIndex) trip.insert(s_k);
-              return trip;
-            }();
+  static std::vector<IndexId> with_none(IndexSet set) {
+    std::vector<IndexId> v;
+    for (IndexId i : set) v.push_back(i);
+    v.push_back(kNoIndex);
+    return v;
+  }
 
-            for (IndexId j_pick : with_none(repl_side)) {
-              Distribution alpha(s_r, j_pick);
-              if (tr) alpha = alpha.transposed();
-              // The partial result before the reduce-scatter: only the
-              // stationary side's index splits it.
-              Distribution partial(s_r, kNoIndex);
-              if (tr) partial = partial.transposed();
+  void solve_contraction(NodeId id, NodeAccum& acc) {
+    const ContractionNode& n = tree_.node(id);
+    const auto choices = enumerate_cannon_choices(n);
+    const auto fusions = fusion_candidates(id);
+    std::vector<ReplUnit> repl_units;
+    if (cfg_.enable_replication_template) {
+      repl_units = repl_unit_list(n);
+    }
 
-              IndexSet triplet = stat_opts_base;
-              if (j_pick != kNoIndex) triplet.insert(j_pick);
+    // Sequential prologue: memoize every operand-options scan the work
+    // units will need, so the fan-out below only reads the cache.
+    OperandCache opcache;
+    {
+      const CurveScope cs(acc);
+      for (const CannonChoice& c : choices) {
+        const IndexSet triplet = triplet_of(c);
+        ensure_operands(opcache, n.left, c.left_dist(), triplet,
+                        /*any_dist=*/false, acc);
+        ensure_operands(opcache, n.right, c.right_dist(), triplet,
+                        /*any_dist=*/false, acc);
+      }
+      for (const ReplUnit& u : repl_units) {
+        prefetch_repl_operands(n, u, opcache, acc);
+      }
+    }
 
-              const auto sopts =
-                  operand_options(stat_id, delta, triplet);
-              const auto ropts = operand_options(
-                  repl_id, compact_dist(repl_ref), triplet,
-                  /*any_dist=*/true);
-
-              for (IndexSet f_u : fusions) {
-                if (!(f_u & triplet).empty()) continue;
-                const std::uint64_t own_mem =
-                    dist_bytes(n.tensor, alpha, f_u, space_, grid_);
-
-                for (const Operand& so : sopts) {
-                  if (!fusion_nesting_ok(f_u, so.fusion,
-                                         so.loop_indices)) {
-                    continue;
-                  }
-                  for (const Operand& ro : ropts) {
-                    if (!fusion_nesting_ok(f_u, ro.fusion,
-                                           ro.loop_indices)) {
-                      continue;
-                    }
-                    const IndexSet f_eff = f_u | so.fusion | ro.fusion;
-
-                    // Allgather of the replicated operand: once per
-                    // iteration of the fused loops that slice it.
-                    double ag_repeat = 1.0;
-                    for (IndexId j : f_eff & repl_ref.index_set()) {
-                      ag_repeat *= static_cast<double>(space_.extent(j));
-                    }
-                    const std::uint64_t slice_total =
-                        fused_bytes(repl_ref, f_eff, space_);
-                    const double ag =
-                        ag_repeat * model_.allgather_cost(slice_total);
-
-                    // Reduce-scatter of the result partials: once per
-                    // iteration of the fused loops that slice the
-                    // result (partials for other loops accumulate
-                    // locally and the reduction hoists out).
-                    const IndexSet f_red = f_eff & n.tensor.index_set();
-                    double red_repeat = 1.0;
-                    for (IndexId j : f_red) {
-                      red_repeat *= static_cast<double>(space_.extent(j));
-                    }
-                    const std::uint64_t partial_bytes = dist_bytes(
-                        n.tensor, partial, f_red, space_, grid_);
-                    double rs = 0;
-                    if (reduce_dim != 0) {
-                      rs = red_repeat * model_.reduce_scatter_cost(
-                                            partial_bytes, reduce_dim);
-                      // Without a scatter index the reduced result must
-                      // stay replicated along the line: allreduce ≈ 2x.
-                      if (j_pick == kNoIndex) rs *= 2.0;
-                    }
-
-                    // Transient storage: the gathered slice plus the
-                    // oversized partial coexist on every rank.
-                    const std::uint64_t own_block = dist_bytes(
-                        n.tensor, alpha, f_eff, space_, grid_);
-                    const std::uint64_t transient = checked_add(
-                        slice_total,
-                        partial_bytes > own_block
-                            ? partial_bytes - own_block
-                            : 0);
-
-                    Sol s;
-                    s.dist = alpha;
-                    s.fusion = f_u;
-                    s.replicated = true;
-                    s.replicate_right = repl_right;
-                    s.reduce_dim = reduce_dim;
-                    s.left_sol = repl_right ? so.sol : ro.sol;
-                    s.right_sol = repl_right ? ro.sol : so.sol;
-                    s.left_dist = repl_right ? delta : Distribution();
-                    s.right_dist = repl_right ? Distribution() : delta;
-                    s.eff_fused = f_eff;
-                    s.redist_left = repl_right ? so.redist : ro.redist;
-                    s.redist_right = repl_right ? ro.redist : so.redist;
-                    // Comm attribution: replicated side = allgather,
-                    // result = reduce.
-                    s.rot_left = repl_right ? 0 : ag;
-                    s.rot_right = repl_right ? ag : 0;
-                    s.rot_result = rs;
-
-                    s.cost = so.cost + ro.cost + so.redist + ro.redist +
-                             ag + rs + dup_penalty;
-                    s.mem = checked_add(checked_add(so.mem, ro.mem),
-                                        own_mem);
-                    s.max_msg =
-                        std::max({so.max_msg, ro.max_msg, transient});
-                    s.input_bytes =
-                        checked_add(so.input_bytes, ro.input_bytes);
-                    s.peak = std::max(
-                        {so.peak, checked_add(so.working, ro.peak),
-                         checked_add(checked_add(so.working, ro.working),
-                                     own_mem)});
-                    s.working = own_mem;
-                    if (!f_u.empty()) {
-                      s.working = checked_add(
-                          s.working,
-                          checked_add(so.working, ro.working));
-                    }
-
-                    ++stats_.candidates;
-                    if (!feasible(s)) {
-                      ++stats_.infeasible;
-                      continue;
-                    }
-                    insert_pruned(sols, std::move(s));
-                  }
-                }
-              }
+    // Fan the work units (one per Cannon choice, then one per outer
+    // replication tuple) across the pool.  Each chunk of consecutive
+    // units builds its own frontier and effort counters; merging the
+    // chunks in ascending order afterwards reproduces the sequential
+    // insertion exactly (see frontier.hpp), so the result is the same
+    // at every thread count — including 1, which runs this very loop
+    // inline.
+    const std::size_t units = choices.size() + repl_units.size();
+    const std::size_t chunks =
+        threads_ <= 1 ? 1
+                      : std::min<std::size_t>(
+                            units, static_cast<std::size_t>(threads_) * 4);
+    struct ChunkOut {
+      SolFrontier frontier;
+      NodeAccum acc;
+    };
+    std::vector<ChunkOut> outs(chunks);
+    ThreadPool::shared().parallel_for(
+        chunks, threads_, [&](std::size_t ci) {
+          ChunkOut& o = outs[ci];
+          const CurveScope cs(o.acc);
+          GeomCache geom(space_, grid_);
+          const std::size_t begin = ci * units / chunks;
+          const std::size_t end = (ci + 1) * units / chunks;
+          for (std::size_t u = begin; u < end; ++u) {
+            if (u < choices.size()) {
+              eval_choice(id, n, choices[u], u, fusions, opcache, geom,
+                          o.frontier, o.acc);
+            } else {
+              eval_replicated(id, n, repl_units[u - choices.size()], u,
+                              fusions, opcache, geom, o.frontier, o.acc);
             }
+          }
+        });
+
+    const bool lv = cfg_.liveness_aware;
+    const auto dom = [lv](const Sol& a, const Sol& b) {
+      return dominates(a, b, lv);
+    };
+    SolFrontier frontier;
+    for (ChunkOut& o : outs) {
+      acc.add(o.acc);
+      frontier.merge(std::move(o.frontier), dom, acc.dominated);
+    }
+
+    if (frontier.empty()) {
+      throw InfeasibleError(
+          "no feasible solution at node producing '" + n.tensor.name +
+          "' under the memory limit");
+    }
+    sols_[static_cast<std::size_t>(id)] = std::move(frontier).flatten();
+  }
+
+  /// All candidates of one generalized-Cannon choice (one work unit).
+  void eval_choice(NodeId id, const ContractionNode& n,
+                   const CannonChoice& c, std::size_t unit,
+                   const std::vector<IndexSet>& fusions,
+                   const OperandCache& opcache, GeomCache& geom,
+                   SolFrontier& frontier, NodeAccum& acc) const {
+    const bool lv = cfg_.liveness_aware;
+    const auto dom = [lv](const Sol& a, const Sol& b) {
+      return dominates(a, b, lv);
+    };
+    std::uint64_t local = 0;
+
+    const IndexSet triplet = triplet_of(c);
+    const double dup_penalty =
+        duplication_penalty(id, static_cast<int>(triplet.count()) - 1);
+    const Distribution alpha = c.result_dist();
+    const Distribution beta = c.left_dist();
+    const Distribution gamma = c.right_dist();
+
+    const auto& lopts = opcache.at(
+        operand_key(n.left, beta, triplet, /*any_dist=*/false));
+    const auto& ropts = opcache.at(
+        operand_key(n.right, gamma, triplet, /*any_dist=*/false));
+
+    const TensorRef& lref = tree_.node(n.left).tensor;
+    const TensorRef& rref = tree_.node(n.right).tensor;
+
+    for (IndexSet f_u : fusions) {
+      if (!(f_u & triplet).empty()) continue;
+      const std::uint64_t own_mem = geom.bytes(n.tensor, alpha, f_u);
+
+      for (const Operand& lo : lopts) {
+        if (!fusion_nesting_ok(f_u, lo.fusion, lo.loop_indices)) continue;
+        for (const Operand& ro : ropts) {
+          if (!fusion_nesting_ok(f_u, ro.fusion, ro.loop_indices)) {
+            continue;
+          }
+          const IndexSet f_eff = f_u | lo.fusion | ro.fusion;
+          const double repeat = geom.repeat(f_eff);
+
+          Sol s;
+          s.dist = alpha;
+          s.fusion = f_u;
+          s.choice = c;
+          s.left_sol = lo.sol;
+          s.right_sol = ro.sol;
+          s.left_dist = beta;
+          s.right_dist = gamma;
+          s.eff_fused = f_eff;
+          s.redist_left = lo.redist;
+          s.redist_right = ro.redist;
+          s.seq = (static_cast<std::uint64_t>(unit) << 32) | local++;
+
+          std::uint64_t msg = std::max(lo.max_msg, ro.max_msg);
+          if (c.rotates_left()) {
+            const std::uint64_t block = geom.bytes(lref, beta, f_eff);
+            s.rot_left =
+                repeat * model_.rotate_cost(block, c.left_rot_dim());
+            msg = std::max(msg, block);
+          }
+          if (c.rotates_right()) {
+            const std::uint64_t block = geom.bytes(rref, gamma, f_eff);
+            s.rot_right =
+                repeat * model_.rotate_cost(block, c.right_rot_dim());
+            msg = std::max(msg, block);
+          }
+          if (c.rotates_result()) {
+            const std::uint64_t block = geom.bytes(n.tensor, alpha, f_eff);
+            s.rot_result =
+                repeat * model_.rotate_cost(block, c.result_rot_dim());
+            msg = std::max(msg, block);
+          }
+
+          s.cost = lo.cost + ro.cost + lo.redist + ro.redist +
+                   s.rot_left + s.rot_right + s.rot_result + dup_penalty;
+          s.mem = checked_add(checked_add(lo.mem, ro.mem), own_mem);
+          s.max_msg = msg;
+          // Liveness: left subtree runs, then right (left's working set
+          // retained), then this node's loops with both operands and
+          // the accumulator live.
+          s.input_bytes = checked_add(lo.input_bytes, ro.input_bytes);
+          s.peak = std::max(
+              {lo.peak, checked_add(lo.working, ro.peak),
+               checked_add(checked_add(lo.working, ro.working),
+                           own_mem)});
+          // A node fused with its parent re-executes inside the
+          // parent's loops, so *all* of its operands' working sets
+          // stay live alongside its slice buffer; an unfused node is
+          // materialized once and its operands are freed.
+          s.working = own_mem;
+          if (!f_u.empty()) {
+            s.working = checked_add(
+                s.working, checked_add(lo.working, ro.working));
+          }
+
+          ++acc.candidates;
+          if (!feasible(s)) {
+            ++acc.infeasible;
+            continue;
+          }
+          frontier.insert({s.dist, s.fusion}, std::move(s), dom,
+                          acc.dominated);
+        }
+      }
+    }
+  }
+
+  // ----------------------------------------- replicate-compute-reduce
+
+  /// Memoizes the operand scans one replication unit will need.
+  void prefetch_repl_operands(const ContractionNode& n, const ReplUnit& u,
+                              OperandCache& cache, NodeAccum& acc) const {
+    const NodeId stat_id = u.repl_right ? n.left : n.right;
+    const NodeId repl_id = u.repl_right ? n.right : n.left;
+    const TensorRef& repl_ref = tree_.node(repl_id).tensor;
+    const IndexSet repl_side =
+        u.repl_right ? n.right_indices : n.left_indices;
+    Distribution delta(u.s_r, u.s_k);
+    if (u.tr) delta = delta.transposed();
+    for (IndexId j_pick : with_none(repl_side)) {
+      IndexSet triplet;
+      if (u.s_r != kNoIndex) triplet.insert(u.s_r);
+      if (u.s_k != kNoIndex) triplet.insert(u.s_k);
+      if (j_pick != kNoIndex) triplet.insert(j_pick);
+      ensure_operands(cache, stat_id, delta, triplet, /*any_dist=*/false,
+                      acc);
+      ensure_operands(cache, repl_id, compact_dist(repl_ref), triplet,
+                      /*any_dist=*/true, acc);
+    }
+  }
+
+  /// All candidates of one replicate-compute-reduce unit (see
+  /// OptimizerConfig::enable_replication_template): one operand is
+  /// gathered whole onto every processor, the other stays put in a
+  /// ⟨s_r, s_k⟩ block distribution, and the result partials are
+  /// combined with a reduce-scatter along the grid dimension holding
+  /// s_k, scattered there by j_pick.
+  void eval_replicated(NodeId id, const ContractionNode& n,
+                       const ReplUnit& u, std::size_t unit,
+                       const std::vector<IndexSet>& fusions,
+                       const OperandCache& opcache, GeomCache& geom,
+                       SolFrontier& frontier, NodeAccum& acc) const {
+    const bool lv = cfg_.liveness_aware;
+    const auto dom = [lv](const Sol& a, const Sol& b) {
+      return dominates(a, b, lv);
+    };
+    std::uint64_t local = 0;
+
+    const bool repl_right = u.repl_right;
+    const NodeId stat_id = repl_right ? n.left : n.right;
+    const NodeId repl_id = repl_right ? n.right : n.left;
+    const TensorRef& repl_ref = tree_.node(repl_id).tensor;
+    const IndexSet repl_side =
+        repl_right ? n.right_indices : n.left_indices;
+    const IndexId s_r = u.s_r;
+    const IndexId s_k = u.s_k;
+    const bool tr = u.tr;
+
+    Distribution delta(s_r, s_k);
+    if (tr) delta = delta.transposed();
+    const int reduce_dim = delta.dim_of(s_k);
+    const int split_dims =
+        (s_r != kNoIndex ? 1 : 0) + (s_k != kNoIndex ? 1 : 0);
+    const double dup_penalty = duplication_penalty(id, split_dims);
+
+    IndexSet stat_triplet;
+    if (s_r != kNoIndex) stat_triplet.insert(s_r);
+    if (s_k != kNoIndex) stat_triplet.insert(s_k);
+
+    for (IndexId j_pick : with_none(repl_side)) {
+      Distribution alpha(s_r, j_pick);
+      if (tr) alpha = alpha.transposed();
+      // The partial result before the reduce-scatter: only the
+      // stationary side's index splits it.
+      Distribution partial(s_r, kNoIndex);
+      if (tr) partial = partial.transposed();
+
+      IndexSet triplet = stat_triplet;
+      if (j_pick != kNoIndex) triplet.insert(j_pick);
+
+      const auto& sopts = opcache.at(
+          operand_key(stat_id, delta, triplet, /*any_dist=*/false));
+      const auto& ropts = opcache.at(operand_key(
+          repl_id, compact_dist(repl_ref), triplet, /*any_dist=*/true));
+
+      for (IndexSet f_u : fusions) {
+        if (!(f_u & triplet).empty()) continue;
+        const std::uint64_t own_mem = geom.bytes(n.tensor, alpha, f_u);
+
+        for (const Operand& so : sopts) {
+          if (!fusion_nesting_ok(f_u, so.fusion, so.loop_indices)) {
+            continue;
+          }
+          for (const Operand& ro : ropts) {
+            if (!fusion_nesting_ok(f_u, ro.fusion, ro.loop_indices)) {
+              continue;
+            }
+            const IndexSet f_eff = f_u | so.fusion | ro.fusion;
+
+            // Allgather of the replicated operand: once per iteration
+            // of the fused loops that slice it.
+            const double ag_repeat =
+                geom.repeat(f_eff & repl_ref.index_set());
+            const std::uint64_t slice_total =
+                geom.fused_total(repl_ref, f_eff);
+            const double ag =
+                ag_repeat * model_.allgather_cost(slice_total);
+
+            // Reduce-scatter of the result partials: once per
+            // iteration of the fused loops that slice the result
+            // (partials for other loops accumulate locally and the
+            // reduction hoists out).
+            const IndexSet f_red = f_eff & n.tensor.index_set();
+            const double red_repeat = geom.repeat(f_red);
+            const std::uint64_t partial_bytes =
+                geom.bytes(n.tensor, partial, f_red);
+            double rs = 0;
+            if (reduce_dim != 0) {
+              rs = red_repeat * model_.reduce_scatter_cost(partial_bytes,
+                                                           reduce_dim);
+              // Without a scatter index the reduced result must stay
+              // replicated along the line: allreduce ≈ 2x.
+              if (j_pick == kNoIndex) rs *= 2.0;
+            }
+
+            // Transient storage: the gathered slice plus the oversized
+            // partial coexist on every rank.
+            const std::uint64_t own_block =
+                geom.bytes(n.tensor, alpha, f_eff);
+            const std::uint64_t transient = checked_add(
+                slice_total, partial_bytes > own_block
+                                 ? partial_bytes - own_block
+                                 : 0);
+
+            Sol s;
+            s.dist = alpha;
+            s.fusion = f_u;
+            s.replicated = true;
+            s.replicate_right = repl_right;
+            s.reduce_dim = reduce_dim;
+            s.left_sol = repl_right ? so.sol : ro.sol;
+            s.right_sol = repl_right ? ro.sol : so.sol;
+            s.left_dist = repl_right ? delta : Distribution();
+            s.right_dist = repl_right ? Distribution() : delta;
+            s.eff_fused = f_eff;
+            s.redist_left = repl_right ? so.redist : ro.redist;
+            s.redist_right = repl_right ? ro.redist : so.redist;
+            // Comm attribution: replicated side = allgather,
+            // result = reduce.
+            s.rot_left = repl_right ? 0 : ag;
+            s.rot_right = repl_right ? ag : 0;
+            s.rot_result = rs;
+            s.seq = (static_cast<std::uint64_t>(unit) << 32) | local++;
+
+            s.cost = so.cost + ro.cost + so.redist + ro.redist + ag +
+                     rs + dup_penalty;
+            s.mem = checked_add(checked_add(so.mem, ro.mem), own_mem);
+            s.max_msg = std::max({so.max_msg, ro.max_msg, transient});
+            s.input_bytes = checked_add(so.input_bytes, ro.input_bytes);
+            s.peak = std::max(
+                {so.peak, checked_add(so.working, ro.peak),
+                 checked_add(checked_add(so.working, ro.working),
+                             own_mem)});
+            s.working = own_mem;
+            if (!f_u.empty()) {
+              s.working = checked_add(
+                  s.working, checked_add(so.working, ro.working));
+            }
+
+            ++acc.candidates;
+            if (!feasible(s)) {
+              ++acc.infeasible;
+              continue;
+            }
+            frontier.insert({s.dist, s.fusion}, std::move(s), dom,
+                            acc.dominated);
           }
         }
       }
@@ -671,11 +971,16 @@ class Search {
 
   // ------------------------------------------------------------ reduce
 
-  void solve_reduce(NodeId id) {
+  void solve_reduce(NodeId id, NodeAccum& acc) {
+    const CurveScope cs(acc);
     const ContractionNode& n = tree_.node(id);
     const NodeId child = n.left;
     const ContractionNode& cn = tree_.node(child);
     const auto fusions = fusion_candidates(id);
+    const bool lv = cfg_.liveness_aware;
+    const auto dom = [lv](const Sol& a, const Sol& b) {
+      return dominates(a, b, lv);
+    };
 
     // Child options: every distribution of a leaf, or the child's own
     // (unfused) solutions.
@@ -696,7 +1001,7 @@ class Search {
         copts.push_back(o);
       }
     } else {
-      const auto& sols = sols_.at(child);
+      const auto& sols = sols_[static_cast<std::size_t>(child)];
       for (int i = 0; i < static_cast<int>(sols.size()); ++i) {
         const Sol& s = sols[static_cast<std::size_t>(i)];
         if (!s.fusion.empty()) continue;  // reduce consumes materialized
@@ -705,7 +1010,8 @@ class Search {
       }
     }
 
-    std::vector<Sol> sols;
+    SolFrontier frontier;
+    std::uint64_t seq = 0;
     for (const ChildOpt& co : copts) {
       // Result distribution: drop reduced indices from the child's pair.
       auto position = [&](int d) {
@@ -723,6 +1029,7 @@ class Search {
         s.left_sol = co.sol;
         s.left_dist = co.dist;
         s.eff_fused = f_u;
+        s.seq = seq++;
         const std::uint64_t own_mem =
             dist_bytes(n.tensor, rdist, f_u, space_, grid_);
         std::uint64_t msg = co.max_msg;
@@ -744,21 +1051,21 @@ class Search {
         if (!f_u.empty()) {
           s.working = checked_add(s.working, co.working);
         }
-        ++stats_.candidates;
+        ++acc.candidates;
         if (!feasible(s)) {
-          ++stats_.infeasible;
+          ++acc.infeasible;
           continue;
         }
-        insert_pruned(sols, std::move(s));
+        frontier.insert({s.dist, s.fusion}, std::move(s), dom,
+                        acc.dominated);
       }
     }
-    if (sols.empty()) {
+    if (frontier.empty()) {
       throw InfeasibleError(
           "no feasible solution at reduce node producing '" +
           n.tensor.name + "' under the memory limit");
     }
-    note_node_solved(sols);
-    sols_[id] = std::move(sols);
+    sols_[static_cast<std::size_t>(id)] = std::move(frontier).flatten();
   }
 
   // ----------------------------------------------------- plan extraction
@@ -893,11 +1200,15 @@ class Search {
     const ContractionNode& n = tree_.node(id);
     if (n.left != kNoNode && s->left_sol >= 0) {
       walk(n.left,
-           &sols_.at(n.left)[static_cast<std::size_t>(s->left_sol)], fn);
+           &sols_[static_cast<std::size_t>(
+               n.left)][static_cast<std::size_t>(s->left_sol)],
+           fn);
     }
     if (n.right != kNoNode && s->right_sol >= 0) {
       walk(n.right,
-           &sols_.at(n.right)[static_cast<std::size_t>(s->right_sol)], fn);
+           &sols_[static_cast<std::size_t>(
+               n.right)][static_cast<std::size_t>(s->right_sol)],
+           fn);
     }
   }
 
@@ -906,9 +1217,13 @@ class Search {
   const OptimizerConfig& cfg_;
   const ProcGrid& grid_;
   const IndexSpace& space_;
-  std::map<NodeId, std::vector<Sol>> sols_;
-  /// Mutable: operand_options (const) counts redistribution candidates.
-  mutable OptimizerStats stats_;
+  const unsigned threads_;
+  /// Per-node solved frontiers, indexed by NodeId.  Written once by the
+  /// node's (single) solve task; the dependency scheduler orders that
+  /// write before any parent read.
+  std::vector<std::vector<Sol>> sols_;
+  std::vector<NodeAccum> accums_;
+  OptimizerStats stats_;
 };
 
 /// TCE_VERIFY_PLANS debug mode: re-derive every invariant of \p plan

@@ -72,6 +72,13 @@ struct OptimizerConfig {
   /// plans the summed model over-counts — so the optimum under it is at
   /// most the paper-model optimum.
   bool liveness_aware = false;
+  /// Worker threads for the search: independent sibling subtrees solve
+  /// concurrently and each node's choice enumeration fans across the
+  /// shared pool.  0 = hardware concurrency; 1 = fully sequential (no
+  /// pool involvement).  The result — plans, frontier, and every
+  /// OptimizerStats counter except wall times — is identical at every
+  /// setting; see docs/ALGORITHM.md ("Parallel search").
+  unsigned threads = 0;
 };
 
 /// Runs the search.  Throws InfeasibleError when no plan fits the memory

@@ -1,6 +1,8 @@
 #include "tce/obs/metrics.hpp"
 
+#include <array>
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <utility>
 
@@ -12,10 +14,10 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 
-/// Registry state behind the enabled check.  A transparent comparator
-/// lets the hot path look up by string_view without materialising a
-/// std::string for names that already exist.
-struct Registry {
+/// One shard of the registry.  A transparent comparator lets the hot
+/// path look up by string_view without materialising a std::string for
+/// names that already exist.
+struct Shard {
   std::mutex mu;
   std::map<std::string, Metric, std::less<>> entries;
 
@@ -26,6 +28,20 @@ struct Registry {
       it->second.kind = kind;
     }
     return it->second;
+  }
+};
+
+/// The registry is sharded by name hash so concurrent recorders — the
+/// parallel DP search emits per-node counts from worker threads — only
+/// contend when they touch the same few names, not on one global lock.
+/// A name always maps to the same shard, so totals never split and a
+/// merged snapshot needs no deduplication.
+struct Registry {
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards;
+
+  Shard& shard(std::string_view name) {
+    return shards[std::hash<std::string_view>{}(name) % kShards];
   }
 };
 
@@ -45,30 +61,31 @@ void metrics_enable(bool on) noexcept {
 }
 
 void metrics_reset() noexcept {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  r.entries.clear();
+  for (Shard& s : registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.entries.clear();
+  }
 }
 
 void count(std::string_view name, std::uint64_t delta) noexcept {
   if (!metrics_enabled()) return;
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  r.entry(name, Metric::Kind::kCounter).total += delta;
+  Shard& s = registry().shard(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.entry(name, Metric::Kind::kCounter).total += delta;
 }
 
 void gauge(std::string_view name, double value) noexcept {
   if (!metrics_enabled()) return;
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  r.entry(name, Metric::Kind::kGauge).last = value;
+  Shard& s = registry().shard(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.entry(name, Metric::Kind::kGauge).last = value;
 }
 
 void observe(std::string_view name, double value) noexcept {
   if (!metrics_enabled()) return;
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  Metric& m = r.entry(name, Metric::Kind::kHistogram);
+  Shard& s = registry().shard(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  Metric& m = s.entry(name, Metric::Kind::kHistogram);
   if (m.count == 0 || value < m.min) m.min = value;
   if (m.count == 0 || value > m.max) m.max = value;
   ++m.count;
@@ -76,16 +93,23 @@ void observe(std::string_view name, double value) noexcept {
 }
 
 std::map<std::string, Metric> metrics_snapshot() {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  return {r.entries.begin(), r.entries.end()};
+  // The merged map is sorted by name (std::map), as documented; each
+  // shard is copied under its own lock.  The snapshot is not a single
+  // atomic cut across shards — fine for reporting, which only runs
+  // after the recording phase has quiesced.
+  std::map<std::string, Metric> out;
+  for (Shard& s : registry().shards) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.insert(s.entries.begin(), s.entries.end());
+  }
+  return out;
 }
 
 std::uint64_t counter_value(std::string_view name) {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  auto it = r.entries.find(name);
-  if (it == r.entries.end() || it->second.kind != Metric::Kind::kCounter) {
+  Shard& s = registry().shard(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.entries.find(name);
+  if (it == s.entries.end() || it->second.kind != Metric::Kind::kCounter) {
     return 0;
   }
   return it->second.total;

@@ -14,6 +14,15 @@
 ///
 /// Enable with `metrics_enable(true)` (the CLI's `--stats`, the bench
 /// drivers' `--json`) or scoped via ScopedMetrics in tests.
+///
+/// Thread safety: every entry point may be called from any thread.
+/// The registry is sharded by name hash (16 shards, each its own mutex
+/// and map), so concurrent recorders — e.g. the optimizer's worker
+/// threads emitting per-node counts — contend only when hitting the
+/// same shard.  Counter totals are exact under concurrency; a snapshot
+/// is per-shard consistent but not an atomic cut across shards.  The
+/// disabled path is unchanged: one relaxed atomic load, no locks, no
+/// allocation.
 
 #include <cstdint>
 #include <map>
