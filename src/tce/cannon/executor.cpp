@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
 #include "tce/obs/metrics.hpp"
@@ -298,7 +299,7 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
   // Allgather of the replicated operand (timing; numerically every rank
   // simply reads repl_full).
   {
-    const std::uint64_t total = repl_full.size() * sizeof(double);
+    const std::uint64_t total = checked_mul(repl_full.size(), sizeof(double));
     const std::uint64_t block =
         std::max<std::uint64_t>(total / grid.procs, 1);
     for (std::uint32_t dist = 1; dist < grid.procs; dist *= 2) {
@@ -309,7 +310,7 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
       }
       for (std::uint32_t r = 0; r < grid.procs; ++r) {
         if ((r ^ dist) < grid.procs) {
-          phase.flows.push_back({r, r ^ dist, block * dist});
+          phase.flows.push_back({r, r ^ dist, checked_mul(block, dist)});
         }
       }
       phases.push_back(std::move(phase));

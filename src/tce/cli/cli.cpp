@@ -5,8 +5,10 @@
 #include <sstream>
 
 #include "tce/codegen/codegen.hpp"
+#include "tce/common/assert.hpp"
 #include "tce/common/error.hpp"
 #include "tce/core/forest.hpp"
+#include "tce/fuzz/harness.hpp"
 #include "tce/core/plan_json.hpp"
 #include "tce/core/simulate.hpp"
 #include "tce/common/strings.hpp"
@@ -79,8 +81,32 @@ usage:
         --latency SECONDS    per-message start-up (default 0.06)
         --flops F/S          per-processor flop rate (default 615000000)
 
+  tcemin fuzz [options]
+      Differentially fuzz the planner: generate random contraction
+      programs, machines and memory limits, then cross-check the DP
+      optimizer against independent oracles (docs/FUZZING.md).
+        --seed N             base seed (default 1); instance i uses
+                             seed N+i, so a failure at seed S reproduces
+                             alone with --seed S --runs 1
+        --runs N             number of random instances (default 100)
+        --max-nodes N        max contraction/reduction nodes per tree
+                             (default 3; brute-force oracle caps at 3)
+        --oracle NAME        all (default), brute, threads, verify,
+                             simnet, or exec
+        --no-shrink          report failures without minimizing them
+
   tcemin help
       Show this text.
+
+exit codes:
+    0  success
+    1  usage error (unknown command/flag, malformed option value)
+    2  no plan fits the memory limit
+    3  I/O error (file could not be opened, read or written)
+    4  input error (program/machine file failed to parse or is invalid)
+    5  plan verification failed (--verify)
+    6  fuzzing found an oracle disagreement
+    7  internal error
 
 Program files use the DSL:
     index a, b = 480
@@ -90,7 +116,7 @@ Program files use the DSL:
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("cannot open '" + path + "'");
+  if (!in) throw IoError("cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -117,7 +143,7 @@ class Args {
       if (*it == name) {
         auto val = it + 1;
         if (val == args_.end()) {
-          throw Error("option " + name + " needs a value");
+          throw UsageError("option " + name + " needs a value");
         }
         std::string v = *val;
         args_.erase(it, val + 1);
@@ -136,12 +162,43 @@ class Args {
         return v;
       }
     }
-    throw Error("missing " + what);
+    throw UsageError("missing " + what);
   }
 
   void expect_empty() const {
     if (!args_.empty()) {
-      throw Error("unexpected argument '" + args_.front() + "'");
+      throw UsageError("unexpected argument '" + args_.front() + "'");
+    }
+  }
+
+  /// Takes an option that must parse as an unsigned integer.
+  std::uint64_t take_uint(const std::string& name,
+                          const std::string& fallback) {
+    const std::string text = take_option(name, fallback);
+    if (text.empty() || text.size() > 12) {
+      throw UsageError("option " + name + " needs a number, got '" +
+                       text + "'");
+    }
+    std::uint64_t v = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') {
+        throw UsageError("option " + name + " needs a number, got '" +
+                         text + "'");
+      }
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+  }
+
+  /// Takes a byte-size option (e.g. "4GB"); empty fallback -> 0.
+  std::uint64_t take_size(const std::string& name,
+                          const std::string& fallback) {
+    const std::string text = take_option(name, fallback);
+    if (text.empty()) return 0;
+    try {
+      return parse_byte_size(text);
+    } catch (const Error& e) {
+      throw UsageError("option " + name + ": " + e.what());
     }
   }
 
@@ -149,12 +206,25 @@ class Args {
   std::vector<std::string> args_;
 };
 
+double parse_double_option(const std::string& name,
+                           const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError("option " + name + " needs a number, got '" + text +
+                     "'");
+  }
+}
+
 CharacterizedModel load_or_measure(Args& args, std::uint32_t procs,
                                    std::uint32_t per_node) {
   const std::string machine = args.take_option("--machine", "");
   if (!machine.empty()) {
     std::ifstream in(machine);
-    if (!in) throw Error("cannot open machine file '" + machine + "'");
+    if (!in) throw IoError("cannot open machine file '" + machine + "'");
     CharacterizationTable t = CharacterizationTable::load(in);
     if (t.grid.procs != procs) {
       throw Error("machine file is for " + std::to_string(t.grid.procs) +
@@ -198,19 +268,20 @@ void verify_or_throw(const ContractionTree& tree, const MachineModel& model,
   opts.mem_limit_node_bytes = mem_limit_node_bytes;
   const VerifyReport report = verify_plan(tree, model, reread, opts);
   if (!report.ok()) {
-    throw Error("plan verification failed\n" + report.str(tree));
+    throw VerifyFailedError("plan verification failed\n" +
+                            report.str(tree));
   }
 }
 
 std::string cmd_plan(Args args) {
   const std::string path = args.take_positional("program file");
-  const auto procs = static_cast<std::uint32_t>(
-      std::stoul(args.take_option("--procs", "16")));
-  const auto per_node = static_cast<std::uint32_t>(
-      std::stoul(args.take_option("--procs-per-node", "2")));
-  const std::string limit_text = args.take_option("--mem-limit", "");
-  const auto threads = static_cast<unsigned>(
-      std::stoul(args.take_option("--threads", "0")));
+  const auto procs =
+      static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
+  const auto per_node =
+      static_cast<std::uint32_t>(args.take_uint("--procs-per-node", "2"));
+  const std::uint64_t mem_limit = args.take_size("--mem-limit", "");
+  const auto threads =
+      static_cast<unsigned>(args.take_uint("--threads", "0"));
   const bool no_fusion = args.take_flag("--no-fusion");
   const bool no_redist = args.take_flag("--no-redistribution");
   const bool replication = args.take_flag("--replication");
@@ -235,9 +306,7 @@ std::string cmd_plan(Args args) {
             : to_formula_sequence(program, /*allow_forest=*/true);
 
   OptimizerConfig cfg;
-  if (!limit_text.empty()) {
-    cfg.mem_limit_node_bytes = parse_byte_size(limit_text);
-  }
+  cfg.mem_limit_node_bytes = mem_limit;
   cfg.enable_fusion = !no_fusion;
   cfg.enable_redistribution = !no_redist;
   cfg.enable_replication_template = replication;
@@ -336,13 +405,13 @@ std::string cmd_opmin(Args args) {
 
 std::string cmd_validate(Args args) {
   const std::string path = args.take_positional("program file");
-  const auto procs = static_cast<std::uint32_t>(
-      std::stoul(args.take_option("--procs", "16")));
-  const auto per_node = static_cast<std::uint32_t>(
-      std::stoul(args.take_option("--procs-per-node", "2")));
-  const std::string limit_text = args.take_option("--mem-limit", "");
-  const auto threads = static_cast<unsigned>(
-      std::stoul(args.take_option("--threads", "0")));
+  const auto procs =
+      static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
+  const auto per_node =
+      static_cast<std::uint32_t>(args.take_uint("--procs-per-node", "2"));
+  const std::uint64_t mem_limit = args.take_size("--mem-limit", "");
+  const auto threads =
+      static_cast<unsigned>(args.take_uint("--threads", "0"));
   const bool replication = args.take_flag("--replication");
   const bool liveness = args.take_flag("--liveness");
   const bool opmin = args.take_flag("--opmin");
@@ -359,9 +428,7 @@ std::string cmd_validate(Args args) {
   ContractionTree tree = ContractionTree::from_sequence(seq);
 
   OptimizerConfig cfg;
-  if (!limit_text.empty()) {
-    cfg.mem_limit_node_bytes = parse_byte_size(limit_text);
-  }
+  cfg.mem_limit_node_bytes = mem_limit;
   cfg.enable_replication_template = replication;
   cfg.liveness_aware = liveness;
   cfg.threads = threads;
@@ -386,11 +453,11 @@ std::string cmd_validate(Args args) {
 }
 
 std::string cmd_characterize(Args args) {
-  const auto procs = static_cast<std::uint32_t>(
-      std::stoul(args.take_option("--procs", "16")));
-  const auto per_node = static_cast<std::uint32_t>(
-      std::stoul(args.take_option("--procs-per-node", "2")));
-  const std::string nic = args.take_option("--nic-bw", "27MB");
+  const auto procs =
+      static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
+  const auto per_node =
+      static_cast<std::uint32_t>(args.take_uint("--procs-per-node", "2"));
+  const std::uint64_t nic = args.take_size("--nic-bw", "27MB");
   const std::string latency = args.take_option("--latency", "0.06");
   const std::string flops = args.take_option("--flops", "615000000");
   args.expect_empty();
@@ -399,12 +466,32 @@ std::string cmd_characterize(Args args) {
   ClusterSpec spec;
   spec.nodes = grid.nodes();
   spec.procs_per_node = per_node;
-  spec.nic_bw = static_cast<double>(parse_byte_size(nic));
+  spec.nic_bw = static_cast<double>(nic);
   spec.mem_bw = spec.nic_bw * 15.0;
-  spec.latency_s = std::stod(latency);
-  spec.flops_per_proc = std::stod(flops);
+  spec.latency_s = parse_double_option("--latency", latency);
+  spec.flops_per_proc = parse_double_option("--flops", flops);
   Network net(spec);
   return characterize(net, grid).save_string();
+}
+
+std::string cmd_fuzz(Args args) {
+  fuzz::FuzzOptions opts;
+  opts.seed = args.take_uint("--seed", "1");
+  opts.runs = static_cast<int>(args.take_uint("--runs", "100"));
+  opts.max_nodes = static_cast<int>(args.take_uint("--max-nodes", "3"));
+  opts.oracle = args.take_option("--oracle", "all");
+  opts.shrink = !args.take_flag("--no-shrink");
+  args.expect_empty();
+  if (!fuzz::oracle_name_ok(opts.oracle)) {
+    throw UsageError("unknown oracle '" + opts.oracle +
+                     "'; expected all, brute, threads, verify, simnet "
+                     "or exec");
+  }
+  const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
+  if (!report.failures.empty()) {
+    throw fuzz::FuzzDisagreement(report.str());
+  }
+  return report.str();
 }
 
 }  // namespace
@@ -433,6 +520,10 @@ std::uint64_t parse_byte_size(const std::string& text) {
     throw Error("bad size suffix '" + suffix + "'");
   }
   if (value < 0) throw Error("negative size");
+  // Guard the double->uint64 cast: above ~1.8e19 the conversion is UB.
+  if (value * scale >= 18.4e18) {
+    throw Error("size '" + text + "' is out of range");
+  }
   return static_cast<std::uint64_t>(value * scale);
 }
 
@@ -453,15 +544,35 @@ CliResult run_cli(const std::vector<std::string>& args) {
       result.output = cmd_validate(std::move(rest));
     } else if (cmd == "characterize") {
       result.output = cmd_characterize(std::move(rest));
+    } else if (cmd == "fuzz") {
+      result.output = cmd_fuzz(std::move(rest));
     } else {
-      throw Error("unknown command '" + cmd + "'; try 'tcemin help'");
+      throw UsageError("unknown command '" + cmd + "'; try 'tcemin help'");
     }
   } catch (const InfeasibleError& e) {
-    result.exit_code = 2;
+    result.exit_code = kExitInfeasible;
     result.error = std::string("infeasible: ") + e.what() + "\n";
-  } catch (const std::exception& e) {
-    result.exit_code = 1;
+  } catch (const UsageError& e) {
+    result.exit_code = kExitUsage;
     result.error = std::string("error: ") + e.what() + "\n";
+  } catch (const IoError& e) {
+    result.exit_code = kExitIo;
+    result.error = std::string("error: ") + e.what() + "\n";
+  } catch (const VerifyFailedError& e) {
+    result.exit_code = kExitVerify;
+    result.error = std::string("error: ") + e.what() + "\n";
+  } catch (const fuzz::FuzzDisagreement& e) {
+    result.exit_code = kExitFuzz;
+    result.error = std::string("fuzz: ") + e.what() + "\n";
+  } catch (const Error& e) {
+    result.exit_code = kExitInput;
+    result.error = std::string("error: ") + e.what() + "\n";
+  } catch (const ContractViolation& e) {
+    result.exit_code = kExitInternal;
+    result.error = std::string("internal error: ") + e.what() + "\n";
+  } catch (const std::exception& e) {
+    result.exit_code = kExitInternal;
+    result.error = std::string("internal error: ") + e.what() + "\n";
   }
   return result;
 }

@@ -6,6 +6,7 @@
 ///   plan <program>        optimize a contraction program for a machine
 ///   opmin <program>       operation-minimize a multi-term product
 ///   characterize          measure a (simulated) machine -> table file
+///   fuzz                  differential fuzzing of the planner (oracles)
 ///
 /// `tcemin help` prints the full usage text.  Program files use the DSL
 /// of tce/expr/parser.hpp; machine files use the characterization format
@@ -14,7 +15,43 @@
 #include <string>
 #include <vector>
 
+#include "tce/common/error.hpp"
+
 namespace tce {
+
+/// Exit codes returned by run_cli.  Every failure path maps to exactly
+/// one of these (documented in `tcemin help`):
+///   0  success
+///   1  usage error (unknown command/flag, missing or malformed option)
+///   2  no plan fits the memory limit (InfeasibleError)
+///   3  I/O error (a file could not be opened, read or written)
+///   4  input error (program / machine / plan file failed to parse or
+///      is semantically invalid, e.g. a --machine procs mismatch)
+///   5  plan verification failed (--verify found diagnostics)
+///   6  fuzzing found an oracle disagreement
+///   7  internal error (contract violation or unexpected exception)
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUsage = 1,
+  kExitInfeasible = 2,
+  kExitIo = 3,
+  kExitInput = 4,
+  kExitVerify = 5,
+  kExitFuzz = 6,
+  kExitInternal = 7,
+};
+
+/// Raised on malformed command lines (unknown flag, missing value, ...).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when `--verify` finds diagnostics; carries the full listing.
+class VerifyFailedError : public Error {
+ public:
+  explicit VerifyFailedError(const std::string& what) : Error(what) {}
+};
 
 /// Outcome of one CLI invocation.
 struct CliResult {

@@ -22,6 +22,12 @@ class InfeasibleError : public Error {
   explicit InfeasibleError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a file cannot be opened, read or written.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 /// Raised by the DSL parser on malformed input, with location info baked in.
 class ParseError : public Error {
  public:

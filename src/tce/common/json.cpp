@@ -34,10 +34,23 @@ std::string quote(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;
@@ -46,6 +59,24 @@ std::string quote(const std::string& s) {
   }
   out += "\"";
   return out;
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
 }
 
 std::string number(double v) {
@@ -188,6 +219,30 @@ class Reader {
     return v;
   }
 
+  /// Reads exactly four hex digits (the payload of a \uXXXX escape).
+  std::uint32_t hex4() {
+    if (pos_ + 4 > text_.size()) {
+      throw Error("JSON: bad \\u escape at offset " + std::to_string(pos_));
+    }
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        throw Error("JSON: bad \\u escape at offset " + std::to_string(pos_));
+      }
+      cp = (cp << 4) | digit;
+    }
+    pos_ += 4;
+    return cp;
+  }
+
   Value string_value() {
     expect('"');
     Value v;
@@ -210,17 +265,45 @@ class Reader {
           case '\\':
             v.string += '\\';
             break;
+          case '/':
+            v.string += '/';
+            break;
+          case 'b':
+            v.string += '\b';
+            break;
+          case 'f':
+            v.string += '\f';
+            break;
           case 'n':
             v.string += '\n';
             break;
+          case 'r':
+            v.string += '\r';
+            break;
+          case 't':
+            v.string += '\t';
+            break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              throw Error("JSON: bad \\u escape");
+            std::uint32_t cp = hex4();
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                throw Error("JSON: unpaired surrogate at offset " +
+                            std::to_string(pos_));
+              }
+              pos_ += 2;
+              const std::uint32_t lo = hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                throw Error("JSON: bad low surrogate at offset " +
+                            std::to_string(pos_));
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              throw Error("JSON: unpaired surrogate at offset " +
+                          std::to_string(pos_));
             }
-            const unsigned long cp =
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-            pos_ += 4;
-            v.string += static_cast<char>(cp);  // writers emit < 0x20 only
+            append_utf8(v.string, cp);
             break;
           }
           default:

@@ -5,11 +5,11 @@
 /// (tce/core/plan_json.hpp), the trace-event emitter (tce/obs/trace.hpp)
 /// and the benchmark `--json` output (bench/bench_common.hpp).
 ///
-/// The parser is a strict recursive-descent reader over the subset of
-/// JSON our writers emit (which is all of JSON minus \uXXXX escapes
-/// beyond control characters).  Integers keep their exact uint64
-/// representation alongside the double so byte counts round-trip
-/// losslessly.  The writer helpers render escaped strings and
+/// The parser is a strict recursive-descent reader over all of JSON:
+/// every escape in RFC 8259 §7 is accepted, including \uXXXX (with
+/// surrogate pairs combined and encoded as UTF-8).  Integers keep their
+/// exact uint64 representation alongside the double so byte counts
+/// round-trip losslessly.  The writer helpers render escaped strings and
 /// shortest-lossless doubles; ObjectWriter/ArrayWriter compose nested
 /// documents without an intermediate DOM.
 
@@ -46,6 +46,9 @@ Value parse(const std::string& text);
 
 /// Renders \p s as a quoted, escaped JSON string literal.
 std::string quote(const std::string& s);
+
+/// Appends the UTF-8 encoding of codepoint \p cp (≤ 0x10FFFF) to \p out.
+void append_utf8(std::string& out, std::uint32_t cp);
 
 /// Renders a double with 17 significant digits (lossless round trip);
 /// non-finite values render as null.

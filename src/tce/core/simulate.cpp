@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tce/common/checked.hpp"
 #include "tce/common/json.hpp"
 #include "tce/fusion/fused.hpp"
 #include "tce/obs/trace.hpp"
@@ -40,7 +41,7 @@ double simulate_replicated_step(const Network& net, const ProcGrid& grid,
                     std::to_string(dist) + ")";
     }
     for (std::uint32_t r = 0; r < grid.procs; ++r) {
-      phase.flows.push_back({r, r ^ dist, block * dist});
+      phase.flows.push_back({r, r ^ dist, checked_mul(block, dist)});
     }
     ag_phases.push_back(std::move(phase));
   }

@@ -1,5 +1,6 @@
 #include "tce/costmodel/characterize.hpp"
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 
 namespace tce {
@@ -66,7 +67,7 @@ double measure_allgather(const Network& net, const ProcGrid& grid,
     for (std::uint32_t dist = 1; dist < p; dist *= 2) {
       Phase phase;
       for (std::uint32_t r = 0; r < p; ++r) {
-        phase.flows.push_back({r, r ^ dist, block * dist});
+        phase.flows.push_back({r, r ^ dist, checked_mul(block, dist)});
       }
       phases.push_back(std::move(phase));
     }

@@ -1,0 +1,322 @@
+#include "tce/fuzz/brute.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "tce/common/assert.hpp"
+#include "tce/dist/cannon_space.hpp"
+#include "tce/costmodel/rotate_cost.hpp"
+#include "tce/fusion/fused.hpp"
+
+namespace tce::fuzz {
+
+namespace {
+
+/// One way of obtaining an operand (mirrors the optimizer's Operand).
+struct BOperand {
+  IndexSet fusion;
+  double cost = 0;
+  double redist = 0;
+  std::uint64_t mem = 0;
+  std::uint64_t max_msg = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t working = 0;
+  std::uint64_t input_bytes = 0;
+  IndexSet loop_indices;
+};
+
+class Brute {
+  using DedupKey =
+      std::tuple<Distribution, std::uint64_t, double, std::uint64_t,
+                 std::uint64_t, std::uint64_t, std::uint64_t,
+                 std::uint64_t>;
+  using Dedup = std::set<DedupKey>;
+
+ public:
+  Brute(const ContractionTree& tree, const MachineModel& model,
+        const OptimizerConfig& cfg, std::size_t cap)
+      : tree_(tree),
+        model_(model),
+        cfg_(cfg),
+        grid_(model.grid()),
+        space_(tree.space()),
+        cap_(cap) {
+    TCE_EXPECTS(!cfg.enable_replication_template);
+  }
+
+  BruteResult run() {
+    sols_.assign(tree_.size(), {});
+    for (NodeId id : tree_.post_order()) {
+      const ContractionNode& n = tree_.node(id);
+      switch (n.kind) {
+        case ContractionNode::Kind::kInput:
+          break;
+        case ContractionNode::Kind::kContraction:
+          solve_contraction(id);
+          break;
+        case ContractionNode::Kind::kReduce:
+          solve_reduce(id);
+          break;
+      }
+      if (over_cap_) return {.root = {}, .skipped = true};
+    }
+    BruteResult out;
+    for (const BruteSol& s :
+         sols_[static_cast<std::size_t>(tree_.root())]) {
+      if (feasible(s)) out.root.push_back(s);
+    }
+    return out;
+  }
+
+ private:
+  bool feasible(const BruteSol& s) const {
+    if (cfg_.mem_limit_node_bytes == 0) return true;
+    const std::uint64_t per_node =
+        checked_mul(checked_add(s.metric(cfg_.liveness_aware), s.max_msg),
+                    grid_.procs_per_node);
+    return per_node <= cfg_.mem_limit_node_bytes;
+  }
+
+  std::vector<IndexSet> fusion_candidates(NodeId id) const {
+    if (cfg_.fixed_fusions.has_value()) {
+      auto it = cfg_.fixed_fusions->find(id);
+      return {it == cfg_.fixed_fusions->end() ? IndexSet() : it->second};
+    }
+    if (!cfg_.enable_fusion) return {IndexSet()};
+    std::vector<IndexSet> out;
+    for_each_subset(fusable_indices(tree_, id),
+                    [&](IndexSet f) { out.push_back(f); });
+    return out;
+  }
+
+  double repeat_factor(IndexSet f_eff) const {
+    double r = 1.0;
+    for (IndexId j : f_eff) r *= static_cast<double>(space_.extent(j));
+    return r;
+  }
+
+  double duplication_penalty(NodeId id, int split_dims) const {
+    double dup = 1.0;
+    for (int d = split_dims; d < 2; ++d) {
+      dup *= static_cast<double>(grid_.edge);
+    }
+    if (dup == 1.0) return 0.0;
+    const double share = static_cast<double>(tree_.flops(id)) /
+                         static_cast<double>(grid_.procs);
+    return model_.compute_time(
+        static_cast<std::uint64_t>((dup - 1.0) * share));
+  }
+
+  /// All ways of obtaining child \p child in distribution \p beta under
+  /// the consumer's \p triplet (mirrors the optimizer's ensure_operands).
+  std::vector<BOperand> operands(NodeId child, const Distribution& beta,
+                                 IndexSet triplet) const {
+    const ContractionNode& cn = tree_.node(child);
+    std::vector<BOperand> out;
+    if (cn.kind == ContractionNode::Kind::kInput) {
+      BOperand o;
+      o.mem = dist_bytes(cn.tensor, beta, IndexSet(), space_, grid_);
+      o.input_bytes = o.mem;
+      out.push_back(o);
+      return out;
+    }
+    for (const BruteSol& s : sols_[static_cast<std::size_t>(child)]) {
+      if (!(s.fusion & triplet).empty()) continue;
+      BOperand o;
+      o.fusion = s.fusion;
+      o.cost = s.cost;
+      o.mem = s.mem;
+      o.max_msg = s.max_msg;
+      o.peak = s.peak;
+      o.working = s.working;
+      o.input_bytes = s.input_bytes;
+      o.loop_indices = cn.loop_indices();
+      if (s.dist == beta) {
+        out.push_back(o);
+      } else if (cfg_.enable_redistribution && s.fusion.empty()) {
+        o.redist = redistribute_cost(model_, cn.tensor, s.dist, beta,
+                                     IndexSet(), space_);
+        o.max_msg = std::max(
+            o.max_msg,
+            dist_bytes(cn.tensor, s.dist, IndexSet(), space_, grid_));
+        out.push_back(o);
+      }
+    }
+    return out;
+  }
+
+  /// Appends \p s unless an identical solution is already recorded.
+  void keep(std::vector<BruteSol>& sols, Dedup& seen, BruteSol s) {
+    const auto key = std::make_tuple(s.dist, s.fusion.bits(), s.cost,
+                                     s.mem, s.max_msg, s.peak, s.working,
+                                     s.input_bytes);
+    if (!seen.insert(key).second) return;
+    sols.push_back(std::move(s));
+    if (sols.size() > cap_) over_cap_ = true;
+  }
+
+  void solve_contraction(NodeId id) {
+    const ContractionNode& n = tree_.node(id);
+    const auto choices = enumerate_cannon_choices(n);
+    const auto fusions = fusion_candidates(id);
+    std::vector<BruteSol> sols;
+    Dedup seen;
+
+    for (const CannonChoice& c : choices) {
+      IndexSet triplet;
+      for (IndexId t : {c.i, c.j, c.k}) {
+        if (t != kNoIndex) triplet.insert(t);
+      }
+      const double dup_penalty =
+          duplication_penalty(id, static_cast<int>(triplet.count()) - 1);
+      const Distribution alpha = c.result_dist();
+      const Distribution beta = c.left_dist();
+      const Distribution gamma = c.right_dist();
+      const auto lopts = operands(n.left, beta, triplet);
+      const auto ropts = operands(n.right, gamma, triplet);
+      const TensorRef& lref = tree_.node(n.left).tensor;
+      const TensorRef& rref = tree_.node(n.right).tensor;
+
+      for (IndexSet f_u : fusions) {
+        if (!(f_u & triplet).empty()) continue;
+        const std::uint64_t own_mem =
+            dist_bytes(n.tensor, alpha, f_u, space_, grid_);
+        for (const BOperand& lo : lopts) {
+          if (!fusion_nesting_ok(f_u, lo.fusion, lo.loop_indices)) {
+            continue;
+          }
+          for (const BOperand& ro : ropts) {
+            if (!fusion_nesting_ok(f_u, ro.fusion, ro.loop_indices)) {
+              continue;
+            }
+            const IndexSet f_eff = f_u | lo.fusion | ro.fusion;
+            const double repeat = repeat_factor(f_eff);
+
+            BruteSol s;
+            s.dist = alpha;
+            s.fusion = f_u;
+            double rot = 0;
+            std::uint64_t msg = std::max(lo.max_msg, ro.max_msg);
+            if (c.rotates_left()) {
+              const std::uint64_t block =
+                  dist_bytes(lref, beta, f_eff, space_, grid_);
+              rot += repeat * model_.rotate_cost(block, c.left_rot_dim());
+              msg = std::max(msg, block);
+            }
+            if (c.rotates_right()) {
+              const std::uint64_t block =
+                  dist_bytes(rref, gamma, f_eff, space_, grid_);
+              rot += repeat * model_.rotate_cost(block, c.right_rot_dim());
+              msg = std::max(msg, block);
+            }
+            if (c.rotates_result()) {
+              const std::uint64_t block =
+                  dist_bytes(n.tensor, alpha, f_eff, space_, grid_);
+              rot +=
+                  repeat * model_.rotate_cost(block, c.result_rot_dim());
+              msg = std::max(msg, block);
+            }
+            s.cost = lo.cost + ro.cost + lo.redist + ro.redist + rot +
+                     dup_penalty;
+            s.mem = checked_add(checked_add(lo.mem, ro.mem), own_mem);
+            s.max_msg = msg;
+            s.input_bytes = checked_add(lo.input_bytes, ro.input_bytes);
+            s.peak = std::max(
+                {lo.peak, checked_add(lo.working, ro.peak),
+                 checked_add(checked_add(lo.working, ro.working),
+                             own_mem)});
+            s.working = own_mem;
+            if (!f_u.empty()) {
+              s.working = checked_add(
+                  s.working, checked_add(lo.working, ro.working));
+            }
+            keep(sols, seen, std::move(s));
+            if (over_cap_) return;
+          }
+        }
+      }
+    }
+    sols_[static_cast<std::size_t>(id)] = std::move(sols);
+  }
+
+  void solve_reduce(NodeId id) {
+    const ContractionNode& n = tree_.node(id);
+    const NodeId child = n.left;
+    const ContractionNode& cn = tree_.node(child);
+    const auto fusions = fusion_candidates(id);
+    std::vector<BruteSol> sols;
+    Dedup seen;
+
+    // Child options: every distribution of a leaf, or the child's own
+    // fully materialized (unfused) solutions.
+    std::vector<BruteSol> copts;
+    if (cn.kind == ContractionNode::Kind::kInput) {
+      for (const Distribution& d : enumerate_distributions(cn.tensor)) {
+        BruteSol o;
+        o.dist = d;
+        o.mem = dist_bytes(cn.tensor, d, IndexSet(), space_, grid_);
+        o.input_bytes = o.mem;
+        copts.push_back(o);
+      }
+    } else {
+      for (const BruteSol& s : sols_[static_cast<std::size_t>(child)]) {
+        if (s.fusion.empty()) copts.push_back(s);
+      }
+    }
+
+    for (const BruteSol& co : copts) {
+      auto position = [&](int d) {
+        const IndexId i = co.dist.at(d);
+        return (i != kNoIndex && n.sum_indices.contains(i)) ? kNoIndex : i;
+      };
+      const Distribution rdist(position(1), position(2));
+      const bool needs_allreduce = rdist != co.dist;
+
+      for (IndexSet f_u : fusions) {
+        if (!(f_u & rdist.index_set()).empty()) continue;
+        const std::uint64_t own_mem =
+            dist_bytes(n.tensor, rdist, f_u, space_, grid_);
+        BruteSol s;
+        s.dist = rdist;
+        s.fusion = f_u;
+        std::uint64_t msg = co.max_msg;
+        double allreduce = 0;
+        if (needs_allreduce) {
+          const std::uint64_t block = own_mem;
+          allreduce = repeat_factor(f_u) * model_.redistribute_cost(block);
+          msg = std::max(msg, block);
+        }
+        s.cost = co.cost + allreduce;
+        s.mem = checked_add(co.mem, own_mem);
+        s.max_msg = msg;
+        s.input_bytes = co.input_bytes;
+        s.peak = std::max(co.peak, checked_add(co.working, own_mem));
+        s.working = own_mem;
+        if (!f_u.empty()) s.working = checked_add(s.working, co.working);
+        keep(sols, seen, std::move(s));
+        if (over_cap_) return;
+      }
+    }
+    sols_[static_cast<std::size_t>(id)] = std::move(sols);
+  }
+
+  const ContractionTree& tree_;
+  const MachineModel& model_;
+  const OptimizerConfig& cfg_;
+  const ProcGrid& grid_;
+  const IndexSpace& space_;
+  const std::size_t cap_;
+  bool over_cap_ = false;
+  std::vector<std::vector<BruteSol>> sols_;
+};
+
+}  // namespace
+
+BruteResult brute_force(const ContractionTree& tree,
+                        const MachineModel& model,
+                        const OptimizerConfig& cfg, std::size_t cap) {
+  return Brute(tree, model, cfg, cap).run();
+}
+
+}  // namespace tce::fuzz

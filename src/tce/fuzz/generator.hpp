@@ -1,0 +1,101 @@
+#pragma once
+/// \file generator.hpp
+/// Seeded random workload generation for differential fuzzing.
+///
+/// A FuzzInstance is a complete, self-describing planner problem: a
+/// random contraction program (kept in structured form so the shrinker
+/// can edit it), a random processor grid, memory limit, optimizer knobs
+/// and cost-model choice.  Instances are generated deterministically
+/// from a seed — instance i of a fuzz run with base seed S uses seed
+/// S+i, so any failure reproduces alone with `tcemin fuzz --seed <seed>
+/// --runs 1`.
+///
+/// The generator grammar (docs/FUZZING.md) grows a single contraction
+/// tree bottom-up as a chain of DSL statements: each step either
+/// contracts the running intermediate with a fresh input, reduces a
+/// subset of its dimensions, or joins it with an independently generated
+/// side contraction.  Every intermediate is consumed, so the program
+/// always parses into one tree (never a forest).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tce/common/rng.hpp"
+#include "tce/core/optimizer.hpp"
+#include "tce/costmodel/analytic.hpp"
+#include "tce/expr/contraction.hpp"
+
+namespace tce::fuzz {
+
+/// One statement of the generated program, in structured form.  A
+/// contraction has both operands; a reduction has only `left`.
+struct FuzzStmt {
+  std::string result;
+  std::vector<std::string> result_dims;
+  std::vector<std::string> sum_dims;
+  std::string left;
+  std::vector<std::string> left_dims;
+  std::string right;  ///< Empty for a reduction statement.
+  std::vector<std::string> right_dims;
+
+  bool is_reduce() const { return right.empty(); }
+};
+
+/// A complete randomized planner problem.
+struct FuzzInstance {
+  std::uint64_t seed = 0;
+
+  /// Index declarations (name, extent), in declaration order.
+  std::vector<std::pair<std::string, std::uint64_t>> indices;
+  std::vector<FuzzStmt> stmts;
+
+  std::uint32_t procs = 4;
+  std::uint32_t procs_per_node = 2;
+  std::uint64_t mem_limit_node_bytes = 0;  ///< 0 = unlimited.
+
+  bool enable_fusion = true;
+  bool enable_redistribution = true;
+  bool replication = false;
+  bool liveness = false;
+
+  /// True: cost model is the characterized simulated itanium cluster
+  /// (enables the simnet oracle); false: a randomized analytic model.
+  bool characterized = false;
+  double step_latency_s = 0.01;
+  double proc_bw = 50e6;
+
+  /// Renders the instance as DSL program text.
+  std::string program() const;
+  /// One-line summary of grid, limit and flags (for failure reports).
+  std::string describe() const;
+};
+
+/// Generation knobs.
+struct GenOptions {
+  int max_nodes = 3;  ///< Max contraction/reduction statements.
+  /// Restrict to shapes the distributed executor can run end to end:
+  /// nonempty I/J/K at every contraction (full Cannon triplets) and
+  /// extents divisible by the grid edge.
+  bool exec_friendly = false;
+};
+
+/// Deterministically generates one instance from \p seed.
+FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opts);
+
+/// Parses the instance's program into a ContractionTree.
+ContractionTree build_tree(const FuzzInstance& inst);
+
+/// The OptimizerConfig the instance describes.
+OptimizerConfig config_of(const FuzzInstance& inst, unsigned threads = 1);
+
+/// The analytic model the instance describes (only meaningful when
+/// !characterized; characterized instances measure the itanium cluster).
+AnalyticModel analytic_model_of(const FuzzInstance& inst);
+
+/// Returns \p text with one random single-character corruption applied
+/// (replace, insert, or delete) — the mutation step of the parser
+/// robustness fuzz.
+std::string corrupt_text(const std::string& text, Rng& rng);
+
+}  // namespace tce::fuzz

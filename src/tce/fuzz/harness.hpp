@@ -1,0 +1,67 @@
+#pragma once
+/// \file harness.hpp
+/// The fuzzing driver behind `tcemin fuzz` and tests/test_fuzz.cpp.
+///
+/// run_fuzz generates `runs` instances from consecutive seeds (base,
+/// base+1, ...), runs the selected differential oracles on each
+/// (oracles.hpp), shrinks any failure to a minimal reproducer
+/// (shrink.hpp), and returns a structured report.  Instances alternate
+/// between the general shape distribution and the executor-friendly one
+/// so every oracle gets coverage; any failing seed reproduces alone via
+/// `tcemin fuzz --seed <seed> --runs 1`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tce/common/error.hpp"
+
+namespace tce::fuzz {
+
+/// Knobs of one fuzz run (the `tcemin fuzz` options).
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int runs = 100;
+  int max_nodes = 3;
+  std::string oracle = "all";  ///< "all" or one oracle name.
+  bool shrink = true;
+};
+
+/// One oracle disagreement, with its shrunk reproducer.
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::string oracle;
+  std::string detail;
+  std::string config;   ///< FuzzInstance::describe() of the reproducer.
+  std::string program;  ///< DSL program of the reproducer.
+};
+
+/// Outcome of a whole fuzz run.
+struct FuzzReport {
+  std::uint64_t base_seed = 0;
+  int runs = 0;
+  /// Per-oracle counts of instances actually checked / skipped.
+  std::map<std::string, int> executed;
+  std::map<std::string, int> skipped;
+  /// Skip tallies keyed "oracle: reason" (diagnosing oracle coverage).
+  std::map<std::string, int> skip_reasons;
+  std::vector<FuzzFailure> failures;
+
+  std::string str() const;
+};
+
+/// Raised by the CLI when a fuzz run found disagreements (exit code 6).
+class FuzzDisagreement : public Error {
+ public:
+  explicit FuzzDisagreement(const std::string& what) : Error(what) {}
+};
+
+/// True for "all" and every individual oracle name.
+bool oracle_name_ok(const std::string& name);
+
+/// Runs the campaign; never throws on oracle disagreements (they are
+/// returned in the report).
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+}  // namespace tce::fuzz

@@ -1,0 +1,27 @@
+#pragma once
+/// \file shrink.hpp
+/// Greedy test-case minimization for fuzz failures.
+///
+/// Given a failing FuzzInstance and a predicate that re-runs the failing
+/// oracle, shrink_instance repeatedly tries structural simplifications —
+/// dropping trailing statements, cutting subtrees loose, shrinking the
+/// grid, clearing the memory limit and optimizer flags, halving extents
+/// — keeping each change only when the failure persists.  The result is
+/// the smallest instance this greedy walk reaches, which is what gets
+/// reported and what a seed-pinned regression test should encode.
+
+#include <functional>
+
+#include "tce/fuzz/generator.hpp"
+
+namespace tce::fuzz {
+
+/// Minimizes \p inst under \p still_fails (which must return true for
+/// the original instance's failure; candidates that throw are treated as
+/// not failing).  At most \p max_evals predicate evaluations are spent.
+FuzzInstance shrink_instance(
+    FuzzInstance inst,
+    const std::function<bool(const FuzzInstance&)>& still_fails,
+    int max_evals = 200);
+
+}  // namespace tce::fuzz

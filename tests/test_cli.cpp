@@ -143,10 +143,16 @@ TEST(Cli, PlanRejectsUnknownFlag) {
   EXPECT_NE(r.error.find("unexpected argument"), std::string::npos);
 }
 
-TEST(Cli, PlanMissingFile) {
+TEST(Cli, PlanMissingFileIsAnIoError) {
   CliResult r = run_cli({"plan", "/nonexistent/x.tce"});
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, 3);
   EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, MalformedProgramIsAnInputError) {
+  TempFile f("cli_garbage.tce", "index a = ; nonsense [[");
+  CliResult r = run_cli({"plan", f.path()});
+  EXPECT_EQ(r.exit_code, 4);
 }
 
 TEST(Cli, OpminBinarizes) {
@@ -186,7 +192,7 @@ TEST(Cli, MachineFileProcsMismatchIsRejected) {
   TempFile f("cli_small6.tce", kSmallProgram);
   CliResult p = run_cli(
       {"plan", f.path(), "--procs", "4", "--machine", machine.path()});
-  EXPECT_EQ(p.exit_code, 1);
+  EXPECT_EQ(p.exit_code, 4);
   EXPECT_NE(p.error.find("16 processors"), std::string::npos);
 }
 
@@ -231,6 +237,35 @@ TEST(Cli, PlanWithOpminFlagHandlesMultiFactor) {
   CliResult r = run_cli({"plan", f.path(), "--procs", "4", "--opmin"});
   ASSERT_EQ(r.exit_code, 0) << r.error;
   EXPECT_NE(r.output.find("S[a,d]"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ fuzz
+
+TEST(Cli, FuzzSmokeRunsClean) {
+  CliResult r = run_cli(
+      {"fuzz", "--runs", "10", "--seed", "1", "--max-nodes", "2"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("0 disagreements"), std::string::npos);
+  EXPECT_NE(r.output.find("base seed 1"), std::string::npos);
+}
+
+TEST(Cli, FuzzSingleOracleIsSelectable) {
+  CliResult r = run_cli(
+      {"fuzz", "--runs", "5", "--seed", "3", "--oracle", "verify"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("verify:"), std::string::npos);
+  EXPECT_EQ(r.output.find("brute:"), std::string::npos);
+}
+
+TEST(Cli, FuzzRejectsUnknownOracle) {
+  CliResult r = run_cli({"fuzz", "--oracle", "astrology"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("unknown oracle"), std::string::npos);
+}
+
+TEST(Cli, FuzzRejectsMalformedCount) {
+  CliResult r = run_cli({"fuzz", "--runs", "many"});
+  EXPECT_EQ(r.exit_code, 1);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <limits>
 
 #include "tce/common/checked.hpp"
+#include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
 #include "tce/common/rng.hpp"
 #include "tce/common/strings.hpp"
 #include "tce/common/table.hpp"
@@ -134,6 +136,50 @@ TEST(Rng, UniformRealInRange) {
     EXPECT_GE(v, -1.0);
     EXPECT_LT(v, 1.0);
   }
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // RFC 8259 §7: \uXXXX escapes, including a surrogate pair for a
+  // codepoint beyond the BMP (U+1D11E, musical G clef).
+  const json::Value v =
+      json::parse("\"aA\\u00e9\\u4e2d\\ud834\\udd1e\"");
+  EXPECT_EQ(v.string,
+            "aA\xC3\xA9\xE4\xB8\xAD\xF0\x9D\x84\x9E");
+}
+
+TEST(Json, LoneOrMalformedSurrogatesAreRejected) {
+  EXPECT_THROW(json::parse(R"("\ud834")"), Error);        // high, no low
+  EXPECT_THROW(json::parse(R"("\ud834A")"), Error);  // high + non-low
+  EXPECT_THROW(json::parse(R"("\udd1e")"), Error);        // bare low
+  EXPECT_THROW(json::parse(R"("\uZZZZ")"), Error);        // not hex
+  EXPECT_THROW(json::parse(R"("\u12")"), Error);          // truncated
+}
+
+TEST(Json, ControlCharactersEscapeOnWriteAndRoundTrip) {
+  // Raw control characters are illegal inside JSON strings; quote()
+  // must emit escapes for all of 0x00..0x1F and the parser must map
+  // them back to the identical bytes.
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all.push_back(static_cast<char>(c));
+  all += "\"\\ plain";
+  const std::string quoted = json::quote(all);
+  for (char c : quoted) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << quoted;
+  }
+  EXPECT_EQ(json::parse(quoted).string, all);
+}
+
+TEST(Json, NonBmpStringSurvivesWriteParseWrite) {
+  // UTF-8 payloads pass through quote() byte-identically, and escaped
+  // and literal spellings of the same text parse to the same value.
+  const std::string text = "caf\xC3\xA9 \xF0\x9D\x84\x9E end";
+  const json::Value direct = json::parse(json::quote(text));
+  EXPECT_EQ(direct.string, text);
+  const json::Value escaped =
+      json::parse("\"caf\\u00e9 \\ud834\\udd1e end\"");
+  EXPECT_EQ(escaped.string, text);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tce/common/assert.hpp"
 #include "tce/common/error.hpp"
 #include "tce/core/optimizer.hpp"
 #include "tce/core/simulate.hpp"
@@ -364,6 +365,38 @@ TEST_F(Table2, TableRendersAllRows) {
     EXPECT_NE(table.find(name), std::string::npos) << table;
   }
   EXPECT_NE(table.find("108.0MB"), std::string::npos) << table;
+}
+
+// ------------------------------------------------- overflow hardening
+
+TEST(Optimizer, PaperScaleExtentsProduceExactByteCounts) {
+  // 480^4-class rank-4 arrays on one processor: ~425 GB each.  Every
+  // byte counter must come out exact — a silent 64-bit wrap anywhere in
+  // the size math would be off by orders of magnitude here.
+  FormulaSequence seq = parse_formula_sequence(
+      "index a, b, c, d, e, f = 480\n"
+      "T[a,b,e,f] = sum[c,d] X[a,b,c,d] * Y[c,d,e,f]");
+  ContractionTree tree = ContractionTree::from_sequence(seq);
+  AnalyticModel model(ProcGrid::make(1, 1), AnalyticParams{});
+  OptimizedPlan plan = optimize(tree, model);
+  const std::uint64_t arr = 480ull * 480 * 480 * 480 * 8;
+  EXPECT_EQ(plan.array_bytes_per_proc, 3 * arr);  // X, Y and T resident
+  EXPECT_GE(plan.peak_live_bytes_per_proc, 3 * arr);
+}
+
+TEST(Optimizer, OverflowingSizesThrowInsteadOfWrapping) {
+  // Four indices of 2^16 multiply out to exactly 2^64 elements: one
+  // past what fits.  The search must surface the overflow as a contract
+  // violation, never wrap to a tiny (and feasible-looking) size.
+  const auto run = [] {
+    FormulaSequence seq = parse_formula_sequence(
+        "index a, b, c, d, e, f = 65536\n"
+        "T[a,b,e,f] = sum[c,d] X[a,b,c,d] * Y[c,d,e,f]");
+    ContractionTree tree = ContractionTree::from_sequence(seq);
+    AnalyticModel model(ProcGrid::make(1, 1), AnalyticParams{});
+    optimize(tree, model);
+  };
+  EXPECT_THROW(run(), ContractViolation);
 }
 
 }  // namespace

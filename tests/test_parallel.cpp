@@ -93,6 +93,48 @@ TEST(ThreadPool, RethrowsLowestFailingChunk) {
   }
 }
 
+TEST(ThreadPool, EmptyRangeIsANoOpAtEveryThreadCount) {
+  std::atomic<int> calls{0};
+  for (unsigned threads : {0u, 1u, 8u}) {
+    ThreadPool::shared().parallel_for(0, threads,
+                                      [&](std::size_t) { ++calls; });
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInlineInOrder) {
+  // 0 is the "use hardware concurrency" knob and is resolved by
+  // callers; an unresolved 0 reaching the pool must still cover every
+  // index — it takes the sequential path, which is also what
+  // resolve_threads(0) yields on a single-hardware-thread machine.
+  std::vector<std::size_t> order;
+  ThreadPool::shared().parallel_for(
+      5, 0, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, MoreThreadsThanItemsCoversEachIndexOnce) {
+  // Helper count is clamped to n-1; the surplus threads must not claim
+  // (or double-run) anything.
+  std::atomic<std::uint64_t> sum{0};
+  ThreadPool::shared().parallel_for(
+      3, 32, [&](std::size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(ThreadPool, TaskGroupWithoutHelpersDrainsOnCaller) {
+  // threads=1 spawns no workers: wait() alone must run the queue,
+  // including tasks submitted by running tasks.
+  ThreadPool::TaskGroup group(ThreadPool::shared(), 1);
+  std::vector<int> ran;
+  group.submit([&] {
+    ran.push_back(1);
+    group.submit([&] { ran.push_back(2); });
+  });
+  group.wait();
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+}
+
 TEST(ThreadPool, TaskGroupRunsSubmittedAndNestedTasks) {
   std::atomic<int> ran{0};
   ThreadPool::TaskGroup group(ThreadPool::shared(), 4);

@@ -4,13 +4,13 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "tce/common/error.hpp"
+#include "tce/common/rng.hpp"
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/analytic.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/expr/parser.hpp"
+#include "tce/fuzz/generator.hpp"
 
 #include "paper_workload.hpp"
 
@@ -27,23 +27,14 @@ using ::tce::testing::paper_tree;
 class ParserFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParserFuzz, CorruptedProgramsNeverCrash) {
-  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  // The corruption operator is the fuzz subsystem's (tce/fuzz): its
+  // character set is biased toward the DSL's own alphabet, which
+  // reaches deeper parser states than uniformly random bytes.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
   std::string text = kPaperProgram;
-  // Apply 1-4 random single-character corruptions.
-  const int edits = 1 + static_cast<int>(rng() % 4);
-  for (int e = 0; e < edits; ++e) {
-    const std::size_t pos = rng() % text.size();
-    switch (rng() % 3) {
-      case 0:
-        text[pos] = static_cast<char>(' ' + rng() % 94);
-        break;
-      case 1:
-        text.erase(pos, 1);
-        break;
-      default:
-        text.insert(pos, 1, static_cast<char>(' ' + rng() % 94));
-        break;
-    }
+  const std::int64_t edits = rng.uniform_int(1, 4);
+  for (std::int64_t e = 0; e < edits; ++e) {
+    text = fuzz::corrupt_text(text, rng);
   }
   try {
     FormulaSequence seq = parse_formula_sequence(text);
@@ -69,16 +60,11 @@ TEST_P(MachineFileFuzz, CorruptedFilesNeverCrash) {
   static const std::string good = [] {
     return characterize_itanium(16).save_string();
   }();
-  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
   std::string text = good;
-  const int edits = 1 + static_cast<int>(rng() % 3);
-  for (int e = 0; e < edits; ++e) {
-    const std::size_t pos = rng() % text.size();
-    if (rng() % 2) {
-      text[pos] = static_cast<char>(' ' + rng() % 94);
-    } else {
-      text.erase(pos, rng() % 16 + 1);
-    }
+  const std::int64_t edits = rng.uniform_int(1, 3);
+  for (std::int64_t e = 0; e < edits; ++e) {
+    text = fuzz::corrupt_text(text, rng);
   }
   try {
     CharacterizationTable t = CharacterizationTable::load_string(text);
