@@ -9,6 +9,7 @@
 #include "tce/common/error.hpp"
 #include "tce/core/forest.hpp"
 #include "tce/fuzz/harness.hpp"
+#include "tce/lint/lint.hpp"
 #include "tce/core/plan_json.hpp"
 #include "tce/core/simulate.hpp"
 #include "tce/common/strings.hpp"
@@ -62,6 +63,24 @@ usage:
                              violation (see docs/VERIFIER.md)
         --opmin              binarize multi-factor statements first
 
+  tcemin lint <program-file> [options]
+      Statically analyze a contraction program without running the
+      search: structural rules (indices, arities, tree shape), model
+      interactions (grid tiling, characterization-curve coverage) and a
+      memory-infeasibility prover that can certify "no plan fits the
+      limit" with a machine-readable certificate (docs/LINT.md).  Every
+      independent finding is reported, tagged with a stable rule id, in
+      a deterministic order.  Exits 8 when error-severity findings
+      exist, 0 otherwise (warnings alone do not fail).
+        --procs N            processors, a perfect square (default 16)
+        --procs-per-node N   processors per node (default 2)
+        --mem-limit SIZE     per-node limit for the infeasibility prover
+                             (default unlimited = prover off)
+        --machine FILE       characterization file (default: measure the
+                             bundled simulated itanium-2003 cluster)
+        --no-fusion          analyze without loop fusion
+        --liveness           liveness-aware memory accounting (extension)
+
   tcemin opmin <program-file>
       Operation-minimize every multi-factor statement and print the
       binarized sequence with naive/optimal operation counts.
@@ -92,7 +111,7 @@ usage:
         --max-nodes N        max contraction/reduction nodes per tree
                              (default 3; brute-force oracle caps at 3)
         --oracle NAME        all (default), brute, threads, verify,
-                             simnet, or exec
+                             simnet, exec, or lint
         --no-shrink          report failures without minimizing them
 
   tcemin help
@@ -107,6 +126,7 @@ exit codes:
     5  plan verification failed (--verify)
     6  fuzzing found an oracle disagreement
     7  internal error
+    8  lint found error-severity diagnostics (tcemin lint)
 
 Program files use the DSL:
     index a, b = 480
@@ -273,6 +293,52 @@ void verify_or_throw(const ContractionTree& tree, const MachineModel& model,
   }
 }
 
+/// Renders lint diagnostics in the verifier's one-line style.
+std::string render_diagnostics(const std::vector<lint::Diagnostic>& diags) {
+  std::string out;
+  for (const lint::Diagnostic& d : diags) {
+    out += d.severity == lint::Severity::kError ? "  error" : "  warning";
+    if (!d.node.empty()) out += " node=" + d.node;
+    out += " rule=" + d.rule + ": " + d.message + "\n";
+  }
+  return out;
+}
+
+/// Converts a first-error-wins validation failure into the batched lint
+/// listing when the linter pins down two or more independent structural
+/// errors; rethrows the original exception otherwise.  Must be called
+/// from inside a catch handler.
+[[noreturn]] void rethrow_batched(const ParsedProgram& program) {
+  const std::vector<lint::Diagnostic> errs =
+      lint::structural_errors(program);
+  if (errs.size() < 2) throw;
+  throw Error("program has " + std::to_string(errs.size()) +
+              " structural errors:\n" + render_diagnostics(errs));
+}
+
+std::string cmd_lint(Args args) {
+  const std::string path = args.take_positional("program file");
+  const auto procs =
+      static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
+  const auto per_node =
+      static_cast<std::uint32_t>(args.take_uint("--procs-per-node", "2"));
+  const std::uint64_t mem_limit = args.take_size("--mem-limit", "");
+  const bool no_fusion = args.take_flag("--no-fusion");
+  const bool liveness = args.take_flag("--liveness");
+  CharacterizedModel model = load_or_measure(args, procs, per_node);
+  args.expect_empty();
+
+  const ParsedProgram program = parse_program(read_file(path));
+  lint::LintConfig cfg;
+  cfg.mem_limit_node_bytes = mem_limit;
+  cfg.enable_fusion = !no_fusion;
+  cfg.liveness_aware = liveness;
+  const lint::LintReport report = lint::lint_program(
+      program, ProcGrid::make(procs, per_node), &model.table(), cfg);
+  if (!report.ok()) throw LintFindingsError(report.str());
+  return report.str();
+}
+
 std::string cmd_plan(Args args) {
   const std::string path = args.take_positional("program file");
   const auto procs =
@@ -301,9 +367,6 @@ std::string cmd_plan(Args args) {
 
   const std::string text = read_file(path);
   ParsedProgram program = parse_program(text);
-  FormulaSequence seq =
-      opmin ? binarize_program(program)
-            : to_formula_sequence(program, /*allow_forest=*/true);
 
   OptimizerConfig cfg;
   cfg.mem_limit_node_bytes = mem_limit;
@@ -313,8 +376,18 @@ std::string cmd_plan(Args args) {
   cfg.liveness_aware = liveness;
   cfg.threads = threads;
 
-  // A multi-output program is planned jointly as a forest.
-  ContractionForest forest = ContractionForest::from_sequence(seq);
+  // A multi-output program is planned jointly as a forest.  On a
+  // validation failure, re-diagnose with the batched linter so every
+  // independent structural error is reported, not just the first.
+  ContractionForest forest;
+  try {
+    FormulaSequence seq =
+        opmin ? binarize_program(program)
+              : to_formula_sequence(program, /*allow_forest=*/true);
+    forest = ContractionForest::from_sequence(seq);
+  } catch (const Error&) {
+    rethrow_batched(program);
+  }
   if (forest.trees.size() == 1) {
     const ContractionTree& tree = forest.trees[0];
     OptimizedPlan plan = optimize(tree, model, cfg);
@@ -484,8 +557,8 @@ std::string cmd_fuzz(Args args) {
   args.expect_empty();
   if (!fuzz::oracle_name_ok(opts.oracle)) {
     throw UsageError("unknown oracle '" + opts.oracle +
-                     "'; expected all, brute, threads, verify, simnet "
-                     "or exec");
+                     "'; expected all, brute, threads, verify, simnet, "
+                     "exec or lint");
   }
   const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
   if (!report.failures.empty()) {
@@ -538,6 +611,8 @@ CliResult run_cli(const std::vector<std::string>& args) {
     Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
     if (cmd == "plan") {
       result.output = cmd_plan(std::move(rest));
+    } else if (cmd == "lint") {
+      result.output = cmd_lint(std::move(rest));
     } else if (cmd == "opmin") {
       result.output = cmd_opmin(std::move(rest));
     } else if (cmd == "validate") {
@@ -561,6 +636,11 @@ CliResult run_cli(const std::vector<std::string>& args) {
   } catch (const VerifyFailedError& e) {
     result.exit_code = kExitVerify;
     result.error = std::string("error: ") + e.what() + "\n";
+  } catch (const LintFindingsError& e) {
+    // The report (diagnostics + summary) is the command's output; the
+    // exit code alone signals the failure.
+    result.exit_code = kExitLint;
+    result.output = e.what();
   } catch (const fuzz::FuzzDisagreement& e) {
     result.exit_code = kExitFuzz;
     result.error = std::string("fuzz: ") + e.what() + "\n";

@@ -4,6 +4,7 @@
 ///
 /// Subcommands:
 ///   plan <program>        optimize a contraction program for a machine
+///   lint <program>        static analysis of a program (no search)
 ///   opmin <program>       operation-minimize a multi-term product
 ///   characterize          measure a (simulated) machine -> table file
 ///   fuzz                  differential fuzzing of the planner (oracles)
@@ -30,6 +31,7 @@ namespace tce {
 ///   5  plan verification failed (--verify found diagnostics)
 ///   6  fuzzing found an oracle disagreement
 ///   7  internal error (contract violation or unexpected exception)
+///   8  lint found diagnostics of error severity (`tcemin lint`)
 enum ExitCode : int {
   kExitOk = 0,
   kExitUsage = 1,
@@ -39,6 +41,7 @@ enum ExitCode : int {
   kExitVerify = 5,
   kExitFuzz = 6,
   kExitInternal = 7,
+  kExitLint = 8,
 };
 
 /// Raised on malformed command lines (unknown flag, missing value, ...).
@@ -51,6 +54,13 @@ class UsageError : public Error {
 class VerifyFailedError : public Error {
  public:
   explicit VerifyFailedError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when `tcemin lint` finds error-severity diagnostics; carries
+/// the full report (the report is also printed to stdout).
+class LintFindingsError : public Error {
+ public:
+  explicit LintFindingsError(const std::string& what) : Error(what) {}
 };
 
 /// Outcome of one CLI invocation.

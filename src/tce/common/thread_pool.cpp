@@ -16,10 +16,12 @@ struct ForState {
   const std::size_t n;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
+  /// errors[i] is written by exactly one thread (the claimer of chunk i)
+  /// and read only after every chunk settled, so it needs no guard.
   std::vector<std::exception_ptr> errors;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t done = 0;
+  Mutex mu;
+  CondVar cv;
+  std::size_t done TCE_GUARDED_BY(mu) = 0;
 
   void drain(const std::function<void(std::size_t)>& fn) {
     for (;;) {
@@ -33,7 +35,7 @@ struct ForState {
           failed.store(true, std::memory_order_relaxed);
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
+      const MutexLock lock(mu);
       if (++done == n) cv.notify_all();
     }
   }
@@ -45,19 +47,19 @@ struct ForState {
 /// shared_ptr, so a stub that fires after the TaskGroup object is gone
 /// still touches live memory (and finds an empty queue).
 struct ThreadPool::TaskGroup::State {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::function<void()>> queue;
-  std::size_t in_flight = 0;  ///< Queued + currently running tasks.
-  std::exception_ptr error;
-  bool failed = false;
+  Mutex mu;
+  CondVar cv;
+  std::deque<std::function<void()>> queue TCE_GUARDED_BY(mu);
+  std::size_t in_flight TCE_GUARDED_BY(mu) = 0;  ///< Queued + running.
+  std::exception_ptr error TCE_GUARDED_BY(mu);
+  bool failed TCE_GUARDED_BY(mu) = false;
 
   /// Pops and runs one queued task; returns false when none queued.
   bool run_one() {
     std::function<void()> task;
     bool skip = false;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      const MutexLock lock(mu);
       if (queue.empty()) return false;
       task = std::move(queue.front());
       queue.pop_front();
@@ -67,7 +69,7 @@ struct ThreadPool::TaskGroup::State {
       try {
         task();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        const MutexLock lock(mu);
         if (!failed) {
           failed = true;
           error = std::current_exception();
@@ -75,7 +77,7 @@ struct ThreadPool::TaskGroup::State {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu);
+      const MutexLock lock(mu);
       if (--in_flight == 0) cv.notify_all();
     }
     return true;
@@ -97,7 +99,7 @@ unsigned ThreadPool::resolve_threads(unsigned requested) noexcept {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -105,7 +107,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ensure_workers(unsigned want) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   while (workers_.size() < want && workers_.size() < kMaxThreads - 1) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -113,7 +115,7 @@ void ThreadPool::ensure_workers(unsigned want) {
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     jobs_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -123,8 +125,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      const MutexLock lock(mu_);
+      while (!stop_ && jobs_.empty()) cv_.wait(mu_);
       if (jobs_.empty()) return;  // stop_ set and nothing left to run
       job = std::move(jobs_.front());
       jobs_.pop_front();
@@ -150,8 +152,8 @@ void ThreadPool::parallel_for(std::size_t n, unsigned threads,
   }
   state->drain(fn);  // the caller participates — guaranteed progress
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->done == state->n; });
+    const MutexLock lock(state->mu);
+    while (state->done != state->n) state->cv.wait(state->mu);
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (state->errors[i]) std::rethrow_exception(state->errors[i]);
@@ -177,7 +179,7 @@ ThreadPool::TaskGroup::~TaskGroup() {
 
 void ThreadPool::TaskGroup::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    const MutexLock lock(state_->mu);
     ++state_->in_flight;
     state_->queue.push_back(std::move(task));
     state_->cv.notify_all();  // a wait()er drains new work immediately
@@ -193,18 +195,17 @@ void ThreadPool::TaskGroup::wait() {
   State& st = *state_;
   for (;;) {
     if (!st.run_one()) {
-      std::unique_lock<std::mutex> lock(st.mu);
+      const MutexLock lock(st.mu);
       if (st.in_flight == 0) break;
       // Tasks are in flight on other threads; they may submit more, so
       // wake on every completion and retry the local drain.
-      st.cv.wait(lock,
-                 [&st] { return st.in_flight == 0 || !st.queue.empty(); });
+      while (st.in_flight != 0 && st.queue.empty()) st.cv.wait(st.mu);
       if (st.in_flight == 0) break;
     }
   }
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(st.mu);
+    const MutexLock lock(st.mu);
     std::swap(err, st.error);
   }
   if (err) std::rethrow_exception(err);

@@ -26,14 +26,14 @@
 /// caller — the exact sequential path, no threads touched.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tce/common/annotations.hpp"
 
 namespace tce {
 
@@ -96,11 +96,13 @@ class ThreadPool {
   void enqueue(std::function<void()> job);
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> jobs_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> jobs_ TCE_GUARDED_BY(mu_);
+  /// Grown only under mu_; the destructor joins without the lock, which
+  /// the analysis permits (destructors run single-threaded by contract).
+  std::vector<std::thread> workers_ TCE_GUARDED_BY(mu_);
+  bool stop_ TCE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tce

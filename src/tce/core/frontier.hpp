@@ -37,6 +37,14 @@ namespace tce {
 /// strict-weak-ordered; Entry must expose `std::uint64_t seq`.
 /// Dominance is supplied per call: dom(a, b) must return true when a
 /// weakly dominates b (ties allowed) and be transitive.
+///
+/// Concurrency: not thread-safe, deliberately — instances are
+/// thread-confined by construction.  The parallel search builds one
+/// frontier per work chunk inside its worker, then merge_from()s the
+/// chunks in ascending order on the coordinating thread after the
+/// parallel_for barrier (optimizer.cpp), so no two threads ever touch
+/// the same instance and no lock is needed.  Shared mutable state
+/// lives behind annotated mutexes instead (tce/common/annotations.hpp).
 template <typename Key, typename Entry>
 class KeyedFrontier {
  public:

@@ -13,6 +13,7 @@
 #include "tce/costmodel/characterization.hpp"
 #include "tce/costmodel/rotate_cost.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/lint/lint.hpp"
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
 #include "tce/verify/verifier.hpp"
@@ -476,6 +477,10 @@ class Search {
       return a.triplet < b.triplet;
     }
   };
+  /// Concurrency: filled only during the sequential prologue of each
+  /// node visit (before the parallel_for fan-out) and passed to the
+  /// workers by const reference, so the fan-out reads it without
+  /// locking; never mutated concurrently.
   using OperandCache = std::map<OperandKey, std::vector<Operand>>;
 
   static OperandKey operand_key(NodeId child, const Distribution& beta,
@@ -548,7 +553,7 @@ class Search {
   /// operand, whose layout before the allgather is arbitrary): split the
   /// first (up to) two dimensions.
   Distribution compact_dist(const TensorRef& ref) const {
-    const IndexId d1 = ref.dims.size() > 0 ? ref.dims[0] : kNoIndex;
+    const IndexId d1 = !ref.dims.empty() ? ref.dims[0] : kNoIndex;
     const IndexId d2 = ref.dims.size() > 1 ? ref.dims[1] : kNoIndex;
     return Distribution(d1, d2);
   }
@@ -1182,11 +1187,11 @@ class Search {
       plan.arrays.push_back(std::move(row));
     };
     for (NodeId id : tree_.leaves()) {
-      if (consumed.count(id) != 0) add_row(id);
+      if (consumed.contains(id)) add_row(id);
     }
     for (NodeId id : tree_.post_order()) {
       if (tree_.node(id).kind != ContractionNode::Kind::kInput &&
-          chosen.count(id) != 0) {
+          chosen.contains(id)) {
         add_row(id);
       }
     }
@@ -1242,14 +1247,42 @@ void maybe_verify(const ContractionTree& tree, const MachineModel& model,
   }
 }
 
+/// Static prover fast path (tce/lint): certifies infeasibility before the
+/// DP runs and yields the certified root lower bound for the plan stats.
+/// Returns 0 without proving anything when the prover is disabled or no
+/// limit is set.
+std::uint64_t prove_or_throw(const ContractionTree& tree,
+                             const MachineModel& model,
+                             const OptimizerConfig& config) {
+  if (!config.enable_static_prover || config.mem_limit_node_bytes == 0) {
+    return 0;
+  }
+  lint::LintConfig lcfg;
+  lcfg.mem_limit_node_bytes = config.mem_limit_node_bytes;
+  // Fixed fusions are subsets of the fusable sets, so the fusion-aware
+  // (smaller, still sound) bound covers that baseline too.
+  lcfg.enable_fusion =
+      config.enable_fusion || config.fixed_fusions.has_value();
+  lcfg.liveness_aware = config.liveness_aware;
+  const lint::ProverResult pr = lint::prove_memory(tree, model.grid(), lcfg);
+  if (pr.certificate) {
+    obs::count("optimizer.prover_infeasible");
+    obs::trace_instant("prover_infeasible", "optimizer");
+    throw InfeasibleError("statically infeasible: " + pr.certificate->str());
+  }
+  return pr.root_lower_bound_node_bytes;
+}
+
 }  // namespace
 
 OptimizedPlan optimize(const ContractionTree& tree,
                        const MachineModel& model,
                        const OptimizerConfig& config) {
   const obs::TraceSpan span("optimize", "optimizer");
+  const std::uint64_t prover_lb = prove_or_throw(tree, model, config);
   Search search(tree, model, config);
   OptimizedPlan plan = search.run();
+  plan.stats.prover_lb_node_bytes = prover_lb;
   maybe_verify(tree, model, config, plan);
   return plan;
 }
@@ -1258,9 +1291,11 @@ std::vector<OptimizedPlan> optimize_frontier(const ContractionTree& tree,
                                              const MachineModel& model,
                                              const OptimizerConfig& config) {
   const obs::TraceSpan span("optimize_frontier", "optimizer");
+  const std::uint64_t prover_lb = prove_or_throw(tree, model, config);
   Search search(tree, model, config);
   std::vector<OptimizedPlan> plans = search.run_frontier();
-  for (const OptimizedPlan& plan : plans) {
+  for (OptimizedPlan& plan : plans) {
+    plan.stats.prover_lb_node_bytes = prover_lb;
     maybe_verify(tree, model, config, plan);
   }
   return plans;

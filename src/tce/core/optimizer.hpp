@@ -72,6 +72,13 @@ struct OptimizerConfig {
   /// plans the summed model over-counts — so the optimum under it is at
   /// most the paper-model optimum.
   bool liveness_aware = false;
+  /// Run the static memory-infeasibility prover (tce/lint) before the DP
+  /// when a memory limit is set: if it certifies that no plan can fit,
+  /// the search is skipped and InfeasibleError carries the certificate.
+  /// The prover never rejects a satisfiable instance (the fuzz "lint"
+  /// oracle cross-checks this), so disabling it only costs time; the
+  /// flag exists so differential tests can compare prover and raw DP.
+  bool enable_static_prover = true;
   /// Worker threads for the search: independent sibling subtrees solve
   /// concurrently and each node's choice enumeration fans across the
   /// shared pool.  0 = hardware concurrency; 1 = fully sequential (no

@@ -32,6 +32,10 @@ std::string OptimizerStats::str() const {
   out += "  redistributions:     " + std::to_string(redistributions) + "\n";
   out += "  curve lookups:       " + std::to_string(table_lookups) + " (" +
          std::to_string(extrapolations) + " extrapolated)\n";
+  if (prover_lb_node_bytes != 0) {
+    out += "  certified LB/node:   " + std::to_string(prover_lb_node_bytes) +
+           " bytes\n";
+  }
   out += "  search wall time:    " + fixed(search_wall_s * 1e3, 2) + " ms\n";
   if (!nodes.empty()) {
     TextTable t({"Node", "Result", "Candidates", "Infeasible", "Dominated",

@@ -82,6 +82,11 @@ struct OptimizerStats {
   std::uint64_t redistributions = 0;
   std::uint64_t table_lookups = 0;   ///< Characterization-curve evals.
   std::uint64_t extrapolations = 0;  ///< Evals outside the measured range.
+  /// Certified per-node memory lower bound from the static prover
+  /// (tce/lint): no plan for this tree can use less.  0 when the prover
+  /// did not run (disabled, or no memory limit).  Deterministic — a pure
+  /// function of tree, grid and config.
+  std::uint64_t prover_lb_node_bytes = 0;
   double search_wall_s = 0;          ///< Total optimize() wall time.
   std::vector<NodeSearchStats> nodes;  ///< Per-node effort, post-order.
 

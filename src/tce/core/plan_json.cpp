@@ -203,6 +203,8 @@ std::string plan_to_json(const OptimizedPlan& plan,
   out += ",\"table_lookups\":" + std::to_string(plan.stats.table_lookups);
   out += ",\"extrapolations\":" +
          std::to_string(plan.stats.extrapolations);
+  out += ",\"prover_lb_node_bytes\":" +
+         std::to_string(plan.stats.prover_lb_node_bytes);
   out += ",\"search_wall_s\":" + jnum(plan.stats.search_wall_s);
   out += ",\"nodes\":[";
   for (std::size_t i = 0; i < plan.stats.nodes.size(); ++i) {
@@ -339,6 +341,9 @@ OptimizedPlan plan_from_json(const std::string& json,
     }
     if (const Json* v = stats->find("extrapolations"); v != nullptr) {
       plan.stats.extrapolations = as_u64(*v, "extrapolations");
+    }
+    if (const Json* v = stats->find("prover_lb_node_bytes"); v != nullptr) {
+      plan.stats.prover_lb_node_bytes = as_u64(*v, "prover_lb_node_bytes");
     }
     if (const Json* v = stats->find("search_wall_s"); v != nullptr) {
       plan.stats.search_wall_s = as_number(*v, "search_wall_s");

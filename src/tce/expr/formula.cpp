@@ -81,7 +81,7 @@ void FormulaSequence::validate(bool allow_forest) const {
 
   auto note_use = [&](const TensorRef& t) {
     check_no_repeated_index(t, space_);
-    if (all_results.count(t.name) != 0 && defined.count(t.name) == 0) {
+    if (all_results.contains(t.name) && !defined.contains(t.name)) {
       throw Error("tensor '" + t.name + "' used before definition");
     }
     auto [it, inserted] = shapes.emplace(t.name, t.dims);
@@ -180,7 +180,7 @@ std::vector<std::string> FormulaSequence::root_names() const {
   }
   std::vector<std::string> roots;
   for (const auto& f : formulas_) {
-    if (consumed.count(f.result.name) == 0) {
+    if (!consumed.contains(f.result.name)) {
       roots.push_back(f.result.name);
     }
   }
@@ -194,7 +194,7 @@ std::vector<TensorRef> FormulaSequence::inputs() const {
   std::vector<TensorRef> ins;
   std::set<std::string> seen;
   auto consider = [&](const TensorRef& t) {
-    if (produced.count(t.name) == 0 && seen.insert(t.name).second) {
+    if (!produced.contains(t.name) && seen.insert(t.name).second) {
       ins.push_back(t);
     }
   };

@@ -28,7 +28,7 @@ ExprTree ExprTree::from_sequence(const FormulaSequence& seq) {
   std::map<std::string, NodeId> by_name;
 
   auto operand_node = [&](const TensorRef& t) -> NodeId {
-    if (result_names.count(t.name) != 0) {
+    if (result_names.contains(t.name)) {
       return by_name.at(t.name);
     }
     ExprNode leaf;

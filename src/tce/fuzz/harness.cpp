@@ -19,7 +19,7 @@ namespace {
 
 const std::vector<std::string>& all_oracles() {
   static const std::vector<std::string> names = {
-      "brute", "threads", "verify", "simnet", "exec"};
+      "brute", "threads", "verify", "simnet", "exec", "lint"};
   return names;
 }
 

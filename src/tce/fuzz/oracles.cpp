@@ -12,6 +12,7 @@
 #include "tce/core/plan_json.hpp"
 #include "tce/core/simulate.hpp"
 #include "tce/fuzz/brute.hpp"
+#include "tce/lint/lint.hpp"
 #include "tce/tensor/einsum.hpp"
 #include "tce/verify/verifier.hpp"
 
@@ -259,12 +260,51 @@ OracleOutcome oracle_exec(const OracleInput& in) {
   return pass();
 }
 
+OracleOutcome oracle_lint(const OracleInput& in) {
+  if (in.inst->mem_limit_node_bytes == 0) {
+    return skip("no memory limit; nothing for the prover to certify");
+  }
+  OptimizerConfig cfg = config_of(*in.inst);
+  lint::LintConfig lcfg;
+  lcfg.mem_limit_node_bytes = cfg.mem_limit_node_bytes;
+  lcfg.enable_fusion = cfg.enable_fusion || cfg.fixed_fusions.has_value();
+  lcfg.liveness_aware = cfg.liveness_aware;
+  const std::optional<lint::InfeasibilityCertificate> cert =
+      lint::prove_infeasible(*in.tree, in.model->grid(), lcfg);
+  // Prover silence is not a feasibility claim — only a certificate is
+  // checkable.
+  if (!cert) return pass();
+
+  // The raw DP (fast path disabled, so the comparison is not circular)
+  // must also find the instance infeasible.
+  cfg.enable_static_prover = false;
+  try {
+    const OptimizedPlan plan = optimize(*in.tree, *in.model, cfg);
+    return fail("prover certified infeasibility (" + cert->str() +
+                ") but the DP found a plan using " +
+                std::to_string(plan.bytes_per_node()) + " bytes/node");
+  } catch (const InfeasibleError&) {
+  }
+
+  // So must exhaustive enumeration, inside its domain.
+  if (in.inst->replication) return pass();
+  const BruteResult br = brute_force(*in.tree, *in.model, cfg);
+  if (br.skipped) return pass();
+  if (!br.root.empty()) {
+    return fail("prover certified infeasibility (" + cert->str() +
+                ") but brute force found " +
+                std::to_string(br.root.size()) + " feasible solutions");
+  }
+  return pass();
+}
+
 OracleOutcome run_oracle(const std::string& name, const OracleInput& in) {
   if (name == "brute") return oracle_brute(in);
   if (name == "threads") return oracle_threads(in);
   if (name == "verify") return oracle_verify(in);
   if (name == "simnet") return oracle_simnet(in);
   if (name == "exec") return oracle_exec(in);
+  if (name == "lint") return oracle_lint(in);
   TCE_UNREACHABLE("unknown oracle name");
 }
 

@@ -11,6 +11,10 @@
 ///            flow-level network simulation (characterized instances)
 ///   exec     the distributed numeric executor reproduces the dense
 ///            reference einsum (exec-friendly instances)
+///   lint     the static memory-infeasibility prover (tce/lint) is sound:
+///            whenever it certifies "no plan fits", the raw DP (fast
+///            path disabled) and brute-force enumeration both agree;
+///            prover silence claims nothing and is never checked
 ///
 /// Each oracle returns pass / skip / fail plus a human-readable detail;
 /// a skip means the instance is outside the oracle's domain (e.g. a
@@ -47,9 +51,10 @@ OracleOutcome oracle_threads(const OracleInput& in);
 OracleOutcome oracle_verify(const OracleInput& in);
 OracleOutcome oracle_simnet(const OracleInput& in);
 OracleOutcome oracle_exec(const OracleInput& in);
+OracleOutcome oracle_lint(const OracleInput& in);
 
 /// Runs the named oracle ("brute", "threads", "verify", "simnet",
-/// "exec").  Throws ContractViolation on an unknown name.
+/// "exec", "lint").  Throws ContractViolation on an unknown name.
 OracleOutcome run_oracle(const std::string& name, const OracleInput& in);
 
 }  // namespace tce::fuzz

@@ -18,7 +18,7 @@ void garbage_collect(FuzzInstance& inst) {
   std::vector<bool> keep(inst.stmts.size(), false);
   for (std::size_t i = inst.stmts.size(); i-- > 0;) {
     const FuzzStmt& s = inst.stmts[i];
-    if (needed.count(s.result) == 0) continue;
+    if (!needed.contains(s.result)) continue;
     keep[i] = true;
     needed.insert(s.left);
     if (!s.right.empty()) needed.insert(s.right);
@@ -37,7 +37,7 @@ void garbage_collect(FuzzInstance& inst) {
     used.insert(s.right_dims.begin(), s.right_dims.end());
   }
   std::erase_if(inst.indices,
-                [&](const auto& ix) { return used.count(ix.first) == 0; });
+                [&](const auto& ix) { return !used.contains(ix.first); });
 }
 
 bool is_intermediate(const FuzzInstance& inst, const std::string& name) {

@@ -1,0 +1,457 @@
+#include "tce/lint/lint.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tce/common/checked.hpp"
+#include "tce/dist/distribution.hpp"
+#include "tce/expr/forest.hpp"
+#include "tce/fusion/fused.hpp"
+
+namespace tce::lint {
+
+namespace {
+
+void emit(LintReport& rep, Severity sev, std::string node, std::string rule,
+          std::string message) {
+  rep.diagnostics.push_back(
+      {sev, std::move(node), std::move(rule), std::move(message)});
+}
+
+/// minbytes(u): the smallest per-processor footprint any distribution can
+/// give array \p t under fusion \p fmax — the prover's per-array term.
+std::uint64_t min_bytes(const TensorRef& t, IndexSet fmax,
+                        const IndexSpace& space, const ProcGrid& grid) {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (const Distribution& d : enumerate_distributions(t)) {
+    best = std::min(best, dist_bytes(t, d, fmax, space, grid));
+  }
+  if (best == std::numeric_limits<std::uint64_t>::max()) {
+    best = dist_bytes(t, Distribution(), IndexSet(), space, grid);
+  }
+  return best;
+}
+
+/// True when \p ref names some dimension twice (diagonal access).
+bool has_repeated_dim(const TensorRef& ref) {
+  for (std::size_t a = 0; a < ref.dims.size(); ++a) {
+    for (std::size_t b = a + 1; b < ref.dims.size(); ++b) {
+      if (ref.dims[a] == ref.dims[b]) return true;
+    }
+  }
+  return false;
+}
+
+/// Statement-scoped and program-scoped structural rules (the expr.*
+/// family).  Shared by structural_errors() (errors only) and
+/// lint_program() (errors + warnings).
+void check_statements(const ParsedProgram& program, bool warnings,
+                      LintReport& rep) {
+  const IndexSpace& space = program.space;
+
+  // Per-statement rules, in program order.
+  for (const ParsedStatement& st : program.statements) {
+    const std::string& name = st.result.name;
+
+    // expr.repeated-dim — result first, then factors left to right.
+    std::vector<const TensorRef*> occurrences{&st.result};
+    for (const TensorRef& f : st.factors) occurrences.push_back(&f);
+    for (const TensorRef* ref : occurrences) {
+      ++rep.rules_checked;
+      if (has_repeated_dim(*ref)) {
+        emit(rep, Severity::kError, ref->name, "expr.repeated-dim",
+             "tensor " + ref->str(space) +
+                 " repeats an index; diagonal access is unsupported");
+      }
+    }
+
+    // expr.result-indices — the result must carry exactly the unsummed
+    // factor indices.
+    ++rep.rules_checked;
+    IndexSet factor_union;
+    for (const TensorRef& f : st.factors) factor_union = factor_union | f.index_set();
+    const IndexSet expected = factor_union - st.sum_indices;
+    if (st.result.index_set() != expected) {
+      emit(rep, Severity::kError, name, "expr.result-indices",
+           "result " + st.result.str(space) + " has indices " +
+               st.result.index_set().str(space) +
+               " but the unsummed factor indices are " +
+               expected.str(space));
+    }
+
+    // expr.sum-not-in-factors.
+    ++rep.rules_checked;
+    const IndexSet dead_sums = st.sum_indices - factor_union;
+    if (!dead_sums.empty()) {
+      emit(rep, Severity::kError, name, "expr.sum-not-in-factors",
+           "summation indices " + dead_sums.str(space) +
+               " appear in no factor of '" + name + "'");
+    }
+
+    // expr.needs-binarization.
+    if (warnings) {
+      ++rep.rules_checked;
+      if (st.factors.size() > 2) {
+        emit(rep, Severity::kWarning, name, "expr.needs-binarization",
+             "statement for '" + name + "' has " +
+                 std::to_string(st.factors.size()) +
+                 " factors; the planner needs a binarized form (run with "
+                 "operation minimization)");
+      }
+    }
+  }
+
+  // expr.inconsistent-arity — every occurrence must match the first.
+  {
+    std::map<std::string, const TensorRef*> first_use;
+    std::set<std::string> reported;
+    for (const ParsedStatement& st : program.statements) {
+      std::vector<const TensorRef*> occurrences{&st.result};
+      for (const TensorRef& f : st.factors) occurrences.push_back(&f);
+      for (const TensorRef* ref : occurrences) {
+        ++rep.rules_checked;
+        auto [it, inserted] = first_use.try_emplace(ref->name, ref);
+        if (!inserted && it->second->dims != ref->dims &&
+            reported.insert(ref->name).second) {
+          emit(rep, Severity::kError, ref->name, "expr.inconsistent-arity",
+               "tensor '" + ref->name + "' is used as " + ref->str(space) +
+                   " but earlier as " + it->second->str(space));
+        }
+      }
+    }
+  }
+
+  // expr.redefinition — one producing statement per tensor.
+  std::set<std::string> defined;
+  for (const ParsedStatement& st : program.statements) {
+    ++rep.rules_checked;
+    if (!defined.insert(st.result.name).second) {
+      emit(rep, Severity::kError, st.result.name, "expr.redefinition",
+           "tensor '" + st.result.name +
+               "' is produced by more than one statement");
+    }
+  }
+
+  // expr.reconsumed — intermediates must have a single consumer.
+  {
+    std::map<std::string, int> uses;
+    for (const ParsedStatement& st : program.statements) {
+      for (const TensorRef& f : st.factors) {
+        if (!defined.contains(f.name)) continue;  // plain input
+        ++rep.rules_checked;
+        if (++uses[f.name] == 2) {
+          emit(rep, Severity::kError, f.name, "expr.reconsumed",
+               "intermediate '" + f.name +
+                   "' is consumed more than once; programs must form a "
+                   "tree or forest (single consumer per intermediate)");
+        }
+      }
+    }
+  }
+}
+
+/// Program hygiene warnings (unused/extent-1 indices, shadowed names).
+void check_hygiene(const ParsedProgram& program, LintReport& rep) {
+  const IndexSpace& space = program.space;
+
+  IndexSet used;
+  for (const ParsedStatement& st : program.statements) {
+    used = used | st.result.index_set() | st.sum_indices;
+    for (const TensorRef& f : st.factors) used = used | f.index_set();
+  }
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto id = static_cast<IndexId>(i);
+    ++rep.rules_checked;
+    if (!used.contains(id)) {
+      emit(rep, Severity::kWarning, "", "expr.unused-index",
+           "index '" + space.name(id) + "' (extent " +
+               std::to_string(space.extent(id)) + ") is never used");
+    }
+    ++rep.rules_checked;
+    if (space.extent(id) == 1) {
+      emit(rep, Severity::kWarning, "", "expr.extent-one-index",
+           "index '" + space.name(id) +
+               "' has extent 1; it contributes no work and no "
+               "distribution choice");
+    }
+  }
+
+  std::vector<std::string> tensor_names;  // first-occurrence order
+  std::set<std::string> seen;
+  for (const ParsedStatement& st : program.statements) {
+    if (seen.insert(st.result.name).second) {
+      tensor_names.push_back(st.result.name);
+    }
+    for (const TensorRef& f : st.factors) {
+      if (seen.insert(f.name).second) tensor_names.push_back(f.name);
+    }
+  }
+  for (const std::string& name : tensor_names) {
+    ++rep.rules_checked;
+    if (space.contains(name)) {
+      emit(rep, Severity::kWarning, name, "expr.name-shadowing",
+           "tensor '" + name + "' shadows the index variable of the "
+                               "same name");
+    }
+  }
+}
+
+/// Tree anti-pattern rules over one contraction tree, post order.
+void check_tree(const ContractionTree& tree, LintReport& rep) {
+  const IndexSpace& space = tree.space();
+  for (NodeId id : tree.post_order()) {
+    const ContractionNode& nd = tree.node(id);
+    if (nd.kind == ContractionNode::Kind::kInput) continue;
+
+    ++rep.rules_checked;
+    if (!nd.batch_indices.empty()) {
+      emit(rep, Severity::kError, nd.tensor.name, "tree.batch-indices",
+           "node '" + nd.tensor.name + "' has batch indices " +
+               nd.batch_indices.str(space) +
+               " shared by both operands and the result; not "
+               "representable by the generalized Cannon template");
+    }
+
+    if (nd.kind == ContractionNode::Kind::kContraction) {
+      ++rep.rules_checked;
+      const std::size_t lrank = tree.node(nd.left).tensor.rank();
+      const std::size_t rrank = tree.node(nd.right).tensor.rank();
+      if (nd.tensor.rank() > std::max(lrank, rrank)) {
+        emit(rep, Severity::kWarning, nd.tensor.name, "tree.rank-inflation",
+             "intermediate " + nd.tensor.str(space) + " has rank " +
+                 std::to_string(nd.tensor.rank()) +
+                 ", above both operand ranks (" + std::to_string(lrank) +
+                 ", " + std::to_string(rrank) +
+                 "); consider a different parenthesization");
+      }
+    }
+
+    ++rep.rules_checked;
+    for (IndexId i : nd.sum_indices) {
+      if (space.extent(i) == 1) {
+        emit(rep, Severity::kWarning, nd.tensor.name,
+             "tree.degenerate-sum-index",
+             "node '" + nd.tensor.name + "' sums over index '" +
+                 space.name(i) + "' of extent 1 (degenerate "
+                                 "contraction dimension)");
+      }
+    }
+  }
+}
+
+/// Model-interaction lints: arrays no distribution can tile, and
+/// characterization curves every candidate block size falls outside of.
+void check_model(const ContractionForest& forest, const ProcGrid& grid,
+                 const CharacterizationTable& table, const LintConfig& cfg,
+                 LintReport& rep) {
+  const IndexSpace& space = forest.space;
+
+  // model.grid-untileable, deduplicated by array name across the forest.
+  std::set<std::string> reported;
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  for (const ContractionTree& tree : forest.trees) {
+    for (NodeId id : tree.post_order()) {
+      const ContractionNode& nd = tree.node(id);
+      const TensorRef& t = nd.tensor;
+
+      if (t.rank() >= 1) {
+        ++rep.rules_checked;
+        std::uint64_t max_extent = 0;
+        for (IndexId i : t.dims) {
+          max_extent = std::max(max_extent, space.extent(i));
+        }
+        if (max_extent < grid.edge && reported.insert(t.name).second) {
+          emit(rep, Severity::kWarning, t.name, "model.grid-untileable",
+               "no dimension of " + t.str(space) + " (max extent " +
+                   std::to_string(max_extent) + ") reaches the grid edge " +
+                   std::to_string(grid.edge) +
+                   "; every distribution leaves processors idle");
+        }
+      }
+
+      // Achievable block-size envelope for the extrapolation check: the
+      // smallest fused+distributed block and the full undistributed
+      // array bound every candidate query from below and above.
+      IndexSet fmax;
+      if (cfg.enable_fusion && nd.kind != ContractionNode::Kind::kInput) {
+        fmax = fusable_indices(tree, id);
+      }
+      lo = std::min(lo, min_bytes(t, fmax, space, grid));
+      hi = std::max(hi, dist_bytes(t, Distribution(), IndexSet(), space,
+                                   grid));
+    }
+  }
+
+  // model.curve-extrapolation: if the achievable envelope is disjoint
+  // from a curve's sampled range, every query to that curve
+  // extrapolates.
+  const std::pair<const char*, const CostCurve*> curves[] = {
+      {"rotate_dim1", &table.rotate_dim1},
+      {"rotate_dim2", &table.rotate_dim2},
+      {"redistribute", &table.redistribute},
+  };
+  for (const auto& [name, curve] : curves) {
+    ++rep.rules_checked;
+    if (curve->empty() || hi == 0) continue;
+    const std::uint64_t s_lo = curve->sample_bytes().front();
+    const std::uint64_t s_hi = curve->sample_bytes().back();
+    if (hi < s_lo || lo > s_hi) {
+      emit(rep, Severity::kWarning, "", "model.curve-extrapolation",
+           "every achievable block size (in [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "] bytes) lies outside the sampled "
+                                   "range [" +
+               std::to_string(s_lo) + ", " + std::to_string(s_hi) +
+               "] of characterization curve '" + std::string(name) +
+               "'; all its cost queries extrapolate");
+    }
+  }
+}
+
+}  // namespace
+
+std::string InfeasibilityCertificate::str() const {
+  return "certificate rule=mem.infeasible node=" + node +
+         " lower_bound_node_bytes=" + std::to_string(lower_bound_node_bytes) +
+         " mem_limit_node_bytes=" + std::to_string(mem_limit_node_bytes);
+}
+
+std::string LintReport::str() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.severity == Severity::kError ? "error" : "warning";
+    if (!d.node.empty()) out += " node=" + d.node;
+    out += " rule=" + d.rule + ": " + d.message + "\n";
+  }
+  if (certificate) out += certificate->str() + "\n";
+  out += std::to_string(rules_checked) + " rules checked, " +
+         std::to_string(diagnostics.size()) + " diagnostics\n";
+  return out;
+}
+
+ProverResult prove_memory(const ContractionTree& tree, const ProcGrid& grid,
+                          const LintConfig& cfg) {
+  ProverResult res;
+  const IndexSpace& space = tree.space();
+  const std::size_t n = tree.size();
+  // Per-node accumulators, indexed by NodeId: lb = summed-accounting
+  // bound, leaf_lb = leaf-only part, max_own = largest single internal
+  // array bound in the subtree (the liveness peak's floor).
+  std::vector<std::uint64_t> lb(n, 0);
+  std::vector<std::uint64_t> leaf_lb(n, 0);
+  std::vector<std::uint64_t> max_own(n, 0);
+
+  for (NodeId id : tree.post_order()) {
+    const ContractionNode& nd = tree.node(id);
+    const auto u = static_cast<std::size_t>(id);
+    if (nd.kind == ContractionNode::Kind::kInput) {
+      // Inputs are stored in full regardless of fusion (f = ∅).
+      const std::uint64_t own = min_bytes(nd.tensor, IndexSet(), space, grid);
+      lb[u] = own;
+      leaf_lb[u] = own;
+      max_own[u] = 0;
+    } else {
+      IndexSet fmax;
+      if (cfg.enable_fusion) fmax = fusable_indices(tree, id);
+      const std::uint64_t own = min_bytes(nd.tensor, fmax, space, grid);
+      std::uint64_t sum = own;
+      std::uint64_t leaves = 0;
+      std::uint64_t mo = own;
+      for (NodeId c : {nd.left, nd.right}) {
+        if (c == kNoNode) continue;
+        const auto cu = static_cast<std::size_t>(c);
+        sum = checked_add(sum, lb[cu]);
+        leaves = checked_add(leaves, leaf_lb[cu]);
+        mo = std::max(mo, max_own[cu]);
+      }
+      lb[u] = sum;
+      leaf_lb[u] = leaves;
+      max_own[u] = mo;
+    }
+
+    // The optimizer's memory metric for any state at this node is
+    // ≥ metric_lb: each array term was minimized independently and the
+    // transfer-buffer term (max_msg) was dropped to zero.
+    const std::uint64_t metric_lb =
+        cfg.liveness_aware ? checked_add(leaf_lb[u], max_own[u]) : lb[u];
+    const std::uint64_t node_bytes =
+        checked_mul(metric_lb, grid.procs_per_node);
+    if (id == tree.root()) res.root_lower_bound_node_bytes = node_bytes;
+    if (cfg.mem_limit_node_bytes != 0 && !res.certificate &&
+        node_bytes > cfg.mem_limit_node_bytes) {
+      res.certificate = InfeasibilityCertificate{
+          nd.tensor.name, node_bytes, cfg.mem_limit_node_bytes};
+    }
+  }
+  return res;
+}
+
+std::optional<InfeasibilityCertificate> prove_infeasible(
+    const ContractionTree& tree, const ProcGrid& grid,
+    const LintConfig& cfg) {
+  if (cfg.mem_limit_node_bytes == 0) return std::nullopt;
+  return prove_memory(tree, grid, cfg).certificate;
+}
+
+std::vector<Diagnostic> structural_errors(const ParsedProgram& program) {
+  LintReport rep;
+  check_statements(program, /*warnings=*/false, rep);
+  return std::move(rep.diagnostics);
+}
+
+LintReport lint_program(const ParsedProgram& program, const ProcGrid& grid,
+                        const CharacterizationTable* table,
+                        const LintConfig& cfg) {
+  LintReport rep;
+  check_statements(program, /*warnings=*/true, rep);
+  check_hygiene(program, rep);
+
+  bool needs_binarization = false;
+  for (const ParsedStatement& st : program.statements) {
+    if (st.factors.size() > 2) needs_binarization = true;
+  }
+  // Tree-, model- and memory-stage analyses need the contraction forest,
+  // which only exists for structurally clean, binarized programs.
+  if (!rep.ok() || needs_binarization || program.statements.empty()) {
+    return rep;
+  }
+
+  ContractionForest forest;
+  try {
+    forest = ContractionForest::from_sequence(
+        to_formula_sequence(program, /*allow_forest=*/true));
+  } catch (const std::exception& e) {
+    // A validation failure the rules above did not pin down.
+    ++rep.rules_checked;
+    emit(rep, Severity::kError, "", "expr.invalid", e.what());
+    return rep;
+  }
+
+  for (const ContractionTree& tree : forest.trees) check_tree(tree, rep);
+
+  if (table != nullptr) check_model(forest, grid, *table, cfg, rep);
+
+  if (cfg.mem_limit_node_bytes != 0 && rep.ok()) {
+    for (const ContractionTree& tree : forest.trees) {
+      ++rep.rules_checked;
+      const ProverResult pr = prove_memory(tree, grid, cfg);
+      if (pr.certificate) {
+        emit(rep, Severity::kError, pr.certificate->node, "mem.infeasible",
+             "no plan can satisfy the memory limit: certified lower bound " +
+                 std::to_string(pr.certificate->lower_bound_node_bytes) +
+                 " bytes/node exceeds the limit " +
+                 std::to_string(pr.certificate->mem_limit_node_bytes) +
+                 " (binding node '" + pr.certificate->node + "')");
+        if (!rep.certificate) rep.certificate = pr.certificate;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace tce::lint

@@ -3,9 +3,9 @@
 #include <array>
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <utility>
 
+#include "tce/common/annotations.hpp"
 #include "tce/common/json.hpp"
 
 namespace tce::obs {
@@ -18,10 +18,11 @@ std::atomic<bool> g_enabled{false};
 /// path look up by string_view without materialising a std::string for
 /// names that already exist.
 struct Shard {
-  std::mutex mu;
-  std::map<std::string, Metric, std::less<>> entries;
+  Mutex mu;
+  std::map<std::string, Metric, std::less<>> entries TCE_GUARDED_BY(mu);
 
-  Metric& entry(std::string_view name, Metric::Kind kind) {
+  Metric& entry(std::string_view name, Metric::Kind kind)
+      TCE_REQUIRES(mu) {
     auto it = entries.find(name);
     if (it == entries.end()) {
       it = entries.emplace(std::string(name), Metric{}).first;
@@ -62,7 +63,7 @@ void metrics_enable(bool on) noexcept {
 
 void metrics_reset() noexcept {
   for (Shard& s : registry().shards) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    const MutexLock lock(s.mu);
     s.entries.clear();
   }
 }
@@ -70,21 +71,21 @@ void metrics_reset() noexcept {
 void count(std::string_view name, std::uint64_t delta) noexcept {
   if (!metrics_enabled()) return;
   Shard& s = registry().shard(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const MutexLock lock(s.mu);
   s.entry(name, Metric::Kind::kCounter).total += delta;
 }
 
 void gauge(std::string_view name, double value) noexcept {
   if (!metrics_enabled()) return;
   Shard& s = registry().shard(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const MutexLock lock(s.mu);
   s.entry(name, Metric::Kind::kGauge).last = value;
 }
 
 void observe(std::string_view name, double value) noexcept {
   if (!metrics_enabled()) return;
   Shard& s = registry().shard(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const MutexLock lock(s.mu);
   Metric& m = s.entry(name, Metric::Kind::kHistogram);
   if (m.count == 0 || value < m.min) m.min = value;
   if (m.count == 0 || value > m.max) m.max = value;
@@ -99,7 +100,7 @@ std::map<std::string, Metric> metrics_snapshot() {
   // after the recording phase has quiesced.
   std::map<std::string, Metric> out;
   for (Shard& s : registry().shards) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    const MutexLock lock(s.mu);
     out.insert(s.entries.begin(), s.entries.end());
   }
   return out;
@@ -107,7 +108,7 @@ std::map<std::string, Metric> metrics_snapshot() {
 
 std::uint64_t counter_value(std::string_view name) {
   Shard& s = registry().shard(name);
-  std::lock_guard<std::mutex> lock(s.mu);
+  const MutexLock lock(s.mu);
   auto it = s.entries.find(name);
   if (it == s.entries.end() || it->second.kind != Metric::Kind::kCounter) {
     return 0;

@@ -64,7 +64,7 @@ TensorRef emit(const Ctx& ctx, const std::vector<Entry>& dp, Mask s,
     std::string name;
     do {
       name = prefix + std::to_string(++counter);
-    } while (taken.count(name) != 0);
+    } while (taken.contains(name));
     return name;
   };
   auto ordered_dims = [&](const TensorRef& a, const TensorRef* b,

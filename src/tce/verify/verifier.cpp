@@ -219,7 +219,7 @@ class PlanVerifier {
   /// The optimizer's compact storage layout for a replicated-side leaf:
   /// split the first (up to) two dimensions.
   Distribution compact_dist(const TensorRef& ref) const {
-    const IndexId d1 = ref.dims.size() > 0 ? ref.dims[0] : kNoIndex;
+    const IndexId d1 = !ref.dims.empty() ? ref.dims[0] : kNoIndex;
     const IndexId d2 = ref.dims.size() > 1 ? ref.dims[1] : kNoIndex;
     return Distribution(d1, d2);
   }
@@ -347,7 +347,7 @@ class PlanVerifier {
 
   void check_contraction(NodeId id) {
     const ContractionNode& n = tree_.node(id);
-    const PlanStep* sp = step_of_.count(id) != 0 ? step_of_.at(id) : nullptr;
+    const PlanStep* sp = step_of_.contains(id) ? step_of_.at(id) : nullptr;
     if (sp == nullptr) return;  // structure.steps already fired
     const PlanStep& s = *sp;
 
@@ -724,8 +724,8 @@ class PlanVerifier {
       IndexSet fusion;
       Distribution stored;
       if (n.kind == ContractionNode::Kind::kInput) {
-        stored = leaf_stored_.count(id) != 0 ? leaf_stored_.at(id)
-                                             : Distribution();
+        stored = leaf_stored_.contains(id) ? leaf_stored_.at(id)
+                                           : Distribution();
       } else {
         auto it = accounts_.find(id);
         if (it == accounts_.end()) continue;

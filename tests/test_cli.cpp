@@ -268,5 +268,97 @@ TEST(Cli, FuzzRejectsMalformedCount) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+// ------------------------------------------------------------------ lint
+
+TEST(Cli, LintCleanProgramExitsZero) {
+  TempFile f("cli_lint_clean.tce", kSmallProgram);
+  CliResult r = run_cli({"lint", f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, kExitOk) << r.error;
+  EXPECT_NE(r.output.find("0 diagnostics"), std::string::npos);
+  EXPECT_NE(r.output.find("rules checked"), std::string::npos);
+}
+
+TEST(Cli, LintWarningsDoNotFail) {
+  TempFile f("cli_lint_warn.tce", R"(
+    index a, b, c = 64
+    index unused = 8
+    C[a,c] = sum[b] X[a,b] * Y[b,c]
+  )");
+  CliResult r = run_cli({"lint", f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, kExitOk) << r.error;
+  EXPECT_NE(r.output.find("warning rule=expr.unused-index"),
+            std::string::npos);
+}
+
+TEST(Cli, LintErrorsExitEight) {
+  TempFile f("cli_lint_err.tce", R"(
+    index i, j, k = 16
+    C[i,j] = sum[k] A[i,k] * B[i,k,j]
+  )");
+  CliResult r = run_cli({"lint", f.path(), "--procs", "4"});
+  EXPECT_EQ(r.exit_code, kExitLint);
+  EXPECT_NE(r.output.find("error node=C rule=tree.batch-indices"),
+            std::string::npos);
+}
+
+TEST(Cli, LintInfeasibilityCertificateExitsEight) {
+  TempFile f("cli_lint_mem.tce", R"(
+    index a, b, k = 8192
+    S[a,b] = sum[k] A[a,k] * B[k,b]
+  )");
+  CliResult r = run_cli(
+      {"lint", f.path(), "--mem-limit", "100MB"});
+  EXPECT_EQ(r.exit_code, kExitLint);
+  EXPECT_NE(r.output.find("certificate rule=mem.infeasible node=S"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("lower_bound_node_bytes="), std::string::npos);
+}
+
+TEST(Cli, LintOutputIsDeterministic) {
+  TempFile f("cli_lint_det.tce", R"(
+    index a, b, c = 64
+    index s = 1
+    C[a,c] = sum[b] X[a,b] * Y[b,c]
+  )");
+  CliResult one = run_cli({"lint", f.path(), "--procs", "4"});
+  CliResult two = run_cli({"lint", f.path(), "--procs", "4"});
+  EXPECT_EQ(one.exit_code, two.exit_code);
+  EXPECT_EQ(one.output, two.output);
+}
+
+TEST(Cli, LintMissingFileIsAnIoError) {
+  CliResult r = run_cli({"lint", "/no/such/file.tce"});
+  EXPECT_EQ(r.exit_code, kExitIo);
+}
+
+TEST(Cli, HelpDocumentsLintAndExitEight) {
+  CliResult r = run_cli({"help"});
+  EXPECT_NE(r.output.find("tcemin lint"), std::string::npos);
+  EXPECT_NE(r.output.find("8  lint found"), std::string::npos);
+}
+
+TEST(Cli, PlanReportsAllStructuralErrorsBatched) {
+  // Two independent structural errors: plan's validation failure is
+  // upgraded to the full batched listing instead of first-error-wins.
+  TempFile f("cli_plan_batched.tce", R"(
+    index a, b, c, z = 16
+    R[a,b] = sum[c] X[a,c] * Y[c,c]
+    Q[a] = sum[z] X[a,c] * W[c]
+  )");
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4"});
+  EXPECT_EQ(r.exit_code, kExitInput);
+  EXPECT_NE(r.error.find("structural errors"), std::string::npos);
+  EXPECT_NE(r.error.find("rule=expr.repeated-dim"), std::string::npos);
+  EXPECT_NE(r.error.find("rule=expr.sum-not-in-factors"),
+            std::string::npos);
+}
+
+TEST(Cli, FuzzLintOracleIsSelectable) {
+  CliResult r = run_cli(
+      {"fuzz", "--runs", "5", "--seed", "2", "--oracle", "lint"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_NE(r.output.find("lint:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tce

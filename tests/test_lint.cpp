@@ -1,0 +1,377 @@
+// Tests for tce/lint: the static analyzer's rule catalog (one fixture
+// per rule id), the memory-infeasibility prover's exact boundary
+// behavior on hand-computed instances, the prover/optimizer fast-path
+// agreement, and the prover's soundness over the pinned fuzz window.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tce/core/optimizer.hpp"
+#include "tce/core/plan_json.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/expr/parser.hpp"
+#include "tce/fuzz/harness.hpp"
+#include "tce/lint/lint.hpp"
+
+#include "paper_workload.hpp"
+
+namespace tce {
+namespace {
+
+using lint::Diagnostic;
+using lint::LintConfig;
+using lint::LintReport;
+using lint::ProverResult;
+using lint::Severity;
+
+bool has_rule(const LintReport& r, const std::string& rule) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+int count_errors(const LintReport& r) {
+  int n = 0;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+LintReport lint_text(const std::string& text,
+                     const CharacterizationTable* table = nullptr,
+                     LintConfig cfg = {}, std::uint32_t procs = 16) {
+  return lint::lint_program(parse_program(text),
+                            ProcGrid::make(procs, 2), table, cfg);
+}
+
+// ----------------------------------------------------- structural rules
+
+TEST(LintRules, CleanProgramHasNoDiagnostics) {
+  const LintReport r = lint_text(testing::kPaperProgram);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.diagnostics.empty()) << r.str();
+  EXPECT_GT(r.rules_checked, 0u);
+}
+
+TEST(LintRules, ResultIndices) {
+  const LintReport r = lint_text(R"(
+    index a, b, c = 8
+    R[a,b] = sum[c] X[a,c] * Y[c,b]
+    W[a,c] = sum[b] X[a,b] * Y[b,b]
+  )");
+  // W's unsummed factor indices are {a,b} (Y[b,b] contributes b), not
+  // {a,c}; Y[b,b] additionally repeats a dimension.
+  EXPECT_TRUE(has_rule(r, "expr.result-indices"));
+  EXPECT_TRUE(has_rule(r, "expr.repeated-dim"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LintRules, SumNotInFactors) {
+  const LintReport r = lint_text(R"(
+    index a, b, z = 8
+    R[a] = sum[b,z] X[a,b] * Y[b]
+  )");
+  EXPECT_TRUE(has_rule(r, "expr.sum-not-in-factors"));
+}
+
+TEST(LintRules, InconsistentArity) {
+  const LintReport r = lint_text(R"(
+    index a, b, c = 8
+    R[a,c] = sum[b] X[a,b] * Y[b,c]
+    Q[a,b] = sum[c] X[a,c] * Z[c,b]
+  )");
+  // X is used as X[a,b] and as X[a,c] — different index lists.
+  EXPECT_TRUE(has_rule(r, "expr.inconsistent-arity"));
+}
+
+TEST(LintRules, RedefinitionAndReconsumption) {
+  const LintReport r = lint_text(R"(
+    index a, b, c, d = 8
+    T[a,c] = sum[b] X[a,b] * Y[b,c]
+    T[a,c] = sum[d] X[a,d] * Z[d,c]
+    R[a] = sum[c] T[a,c] * u[c]
+    Q[a] = sum[c] T[a,c] * v[c]
+  )");
+  EXPECT_TRUE(has_rule(r, "expr.redefinition"));
+  EXPECT_TRUE(has_rule(r, "expr.reconsumed"));
+}
+
+TEST(LintRules, NeedsBinarizationIsAWarningOnly) {
+  const LintReport r = lint_text(R"(
+    index a, b, c, d = 8
+    R[a,d] = sum[b,c] X[a,b] * Y[b,c] * Z[c,d]
+  )");
+  EXPECT_TRUE(has_rule(r, "expr.needs-binarization"));
+  EXPECT_TRUE(r.ok());  // a warning, not an error
+}
+
+TEST(LintRules, HygieneWarnings) {
+  const LintReport r = lint_text(R"(
+    index a, b = 8
+    index s = 1
+    index u = 16
+    R[a,s] = sum[b] X[a,b] * Y[b,s]
+  )");
+  EXPECT_TRUE(has_rule(r, "expr.unused-index"));
+  EXPECT_TRUE(has_rule(r, "expr.extent-one-index"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(LintRules, NameShadowing) {
+  // Built programmatically: a tensor deliberately named like an index.
+  ParsedProgram p;
+  const IndexId a = p.space.add("a", 8);
+  const IndexId b = p.space.add("b", 8);
+  ParsedStatement st;
+  st.result = TensorRef{"R", {a}};
+  st.sum_indices = IndexSet::single(b);
+  st.factors = {TensorRef{"a", {a, b}}, TensorRef{"Y", {b}}};
+  p.statements.push_back(st);
+  const LintReport r =
+      lint::lint_program(p, ProcGrid::make(16, 2), nullptr, {});
+  EXPECT_TRUE(has_rule(r, "expr.name-shadowing"));
+}
+
+// ----------------------------------------------------------- tree rules
+
+TEST(LintRules, BatchIndicesIsAnError) {
+  const LintReport r = lint_text(R"(
+    index i, j, k = 8
+    C[i,j] = sum[k] A[i,k] * B[i,k,j]
+  )");
+  EXPECT_TRUE(has_rule(r, "tree.batch-indices"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LintRules, RankInflationAndDegenerateSum) {
+  const LintReport r = lint_text(R"(
+    index a, b, c, d = 8
+    index s = 1
+    T[a,b,c,d] = sum[s] P[a,b,s] * Q[c,d,s]
+    R[a,c] = sum[b,d] T[a,b,c,d] * V[b,d]
+  )");
+  EXPECT_TRUE(has_rule(r, "tree.rank-inflation"));
+  EXPECT_TRUE(has_rule(r, "tree.degenerate-sum-index"));
+  EXPECT_TRUE(r.ok());
+}
+
+// ---------------------------------------------------------- model rules
+
+TEST(LintRules, GridUntileable) {
+  const CharacterizationTable table = characterize_itanium(16);
+  const LintReport r = lint_text(R"(
+    index a, b, c = 2
+    R[a,c] = sum[b] X[a,b] * Y[b,c]
+  )", &table);
+  // Extent 2 < grid edge 4: no dimension can cover the grid.
+  EXPECT_TRUE(has_rule(r, "model.grid-untileable"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(LintRules, CurveExtrapolationWhenSamplesAreDisjoint) {
+  CharacterizationTable table;
+  table.grid = ProcGrid::make(16, 2);
+  // Sampled only in the terabyte range; an 8^2-extent program's blocks
+  // are thousands of bytes, so every query extrapolates.
+  table.rotate_dim1.add_sample(1'000'000'000'000ull, 1.0);
+  table.rotate_dim1.add_sample(2'000'000'000'000ull, 2.0);
+  const LintReport r = lint_text(R"(
+    index a, b, c = 8
+    R[a,c] = sum[b] X[a,b] * Y[b,c]
+  )", &table);
+  EXPECT_TRUE(has_rule(r, "model.curve-extrapolation"));
+
+  const CharacterizationTable sane = characterize_itanium(16);
+  const LintReport ok = lint_text(testing::kPaperProgram, &sane);
+  EXPECT_FALSE(has_rule(ok, "model.curve-extrapolation")) << ok.str();
+}
+
+// ------------------------------------------------- batched determinism
+
+TEST(LintReporting, AllIndependentErrorsInOneRun) {
+  const std::string text = R"(
+    index a, b, c, z = 8
+    R[a,b] = sum[c] X[a,c] * Y[c,c]
+    Q[a] = sum[z] X[a,c] * W[c]
+  )";
+  const LintReport r = lint_text(text);
+  // One run reports the repeated dim, the result mismatch AND the dead
+  // summation index — not just the first failure.
+  EXPECT_TRUE(has_rule(r, "expr.repeated-dim"));
+  EXPECT_TRUE(has_rule(r, "expr.result-indices"));
+  EXPECT_TRUE(has_rule(r, "expr.sum-not-in-factors"));
+  EXPECT_GE(count_errors(r), 3);
+
+  // Deterministic: same input, same report, byte for byte.
+  EXPECT_EQ(r.str(), lint_text(text).str());
+}
+
+TEST(LintReporting, StructuralErrorsHelperIsErrorsOnly) {
+  const std::vector<Diagnostic> errs = lint::structural_errors(
+      parse_program(R"(
+        index a, b, c = 8
+        R[a,b] = sum[c] X[a,c] * Y[c,c]
+      )"));
+  ASSERT_FALSE(errs.empty());
+  for (const Diagnostic& d : errs) {
+    EXPECT_EQ(d.severity, Severity::kError);
+  }
+}
+
+// ------------------------------------------------------------ prover
+
+// One 8192^2 matrix contraction on a 4x4 grid, 2 procs/node: each of
+// the three arrays is at best (8192/4)^2 * 8 = 32 MiB per processor,
+// and neither the inputs nor the root can be fused away, so the bound
+// is exactly 3 * 32 MiB * 2 = 201326592 bytes per node.
+constexpr const char* kMatmul8k = R"(
+  index a, b, k = 8192
+  S[a,b] = sum[k] A[a,k] * B[k,b]
+)";
+constexpr std::uint64_t kMatmul8kBound = 201'326'592ull;
+
+ContractionTree matmul8k_tree() {
+  return ContractionTree::from_sequence(parse_formula_sequence(kMatmul8k));
+}
+
+TEST(LintProver, ExactBoundOnHandComputedInstance) {
+  const ContractionTree tree = matmul8k_tree();
+  LintConfig cfg;
+  cfg.mem_limit_node_bytes = 1;  // anything nonzero; bound is limit-free
+  const ProverResult r =
+      lint::prove_memory(tree, ProcGrid::make(16, 2), cfg);
+  EXPECT_EQ(r.root_lower_bound_node_bytes, kMatmul8kBound);
+}
+
+TEST(LintProver, BoundaryLimitExactlyAtBoundIsNotCertified) {
+  // The prover's comparison is strict: a limit equal to the bound gets
+  // no certificate (silence — which promises nothing about the search).
+  const ContractionTree tree = matmul8k_tree();
+  LintConfig cfg;
+  cfg.mem_limit_node_bytes = kMatmul8kBound;
+  EXPECT_FALSE(
+      lint::prove_infeasible(tree, ProcGrid::make(16, 2), cfg).has_value());
+}
+
+TEST(LintProver, BoundaryOneByteUnderIsCertified) {
+  const ContractionTree tree = matmul8k_tree();
+  LintConfig cfg;
+  cfg.mem_limit_node_bytes = kMatmul8kBound - 1;
+  const auto cert =
+      lint::prove_infeasible(tree, ProcGrid::make(16, 2), cfg);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->node, "S");
+  EXPECT_EQ(cert->lower_bound_node_bytes, kMatmul8kBound);
+  EXPECT_EQ(cert->mem_limit_node_bytes, kMatmul8kBound - 1);
+  EXPECT_NE(cert->str().find("rule=mem.infeasible"), std::string::npos);
+  EXPECT_NE(cert->str().find("node=S"), std::string::npos);
+}
+
+TEST(LintProver, FusionShrinksTheIntermediateTerm) {
+  // Chain of two contractions, extents 64, 4x4 grid: every 2-D array is
+  // at best (64/4)^2 * 8 = 2048 bytes/processor.  Unfused, the summed
+  // bound is 5 arrays * 2048; with fusion the intermediate U (both of
+  // whose dims recur in the parent's loops) collapses to one element.
+  const std::string chain = R"(
+    index a, b, c, d = 64
+    U[a,c] = sum[b] A[a,b] * B[b,c]
+    R[a,d] = sum[c] U[a,c] * C[c,d]
+  )";
+  const ContractionTree tree =
+      ContractionTree::from_sequence(parse_formula_sequence(chain));
+  const ProcGrid grid = ProcGrid::make(16, 2);
+
+  LintConfig unfused;
+  unfused.mem_limit_node_bytes = 1;
+  unfused.enable_fusion = false;
+  EXPECT_EQ(lint::prove_memory(tree, grid, unfused)
+                .root_lower_bound_node_bytes,
+            5 * 2048ull * 2);
+
+  LintConfig fused = unfused;
+  fused.enable_fusion = true;
+  EXPECT_EQ(
+      lint::prove_memory(tree, grid, fused).root_lower_bound_node_bytes,
+      (4 * 2048ull + 8) * 2);
+
+  // Liveness accounting: leaves (3 * 2048) + the largest single
+  // internal array (2048 unfused).
+  LintConfig live = unfused;
+  live.liveness_aware = true;
+  EXPECT_EQ(
+      lint::prove_memory(tree, grid, live).root_lower_bound_node_bytes,
+      (3 * 2048ull + 2048) * 2);
+}
+
+TEST(LintProver, CertificateAgreesWithRawSearch) {
+  // When the prover certifies infeasibility, the DP with the fast path
+  // disabled must independently reach the same verdict.
+  const ContractionTree tree = matmul8k_tree();
+  const CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = kMatmul8kBound - 1;
+  cfg.enable_static_prover = false;
+  EXPECT_THROW(optimize(tree, model, cfg), InfeasibleError);
+
+  cfg.enable_static_prover = true;
+  try {
+    optimize(tree, model, cfg);
+    FAIL() << "expected InfeasibleError";
+  } catch (const InfeasibleError& e) {
+    EXPECT_NE(std::string(e.what()).find("statically infeasible"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mem.infeasible"),
+              std::string::npos);
+  }
+}
+
+TEST(LintProver, BoundIsStampedIntoStatsAndJson) {
+  const ContractionTree tree = testing::paper_tree();
+  const CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = testing::kNodeLimit4GB;
+  const OptimizedPlan plan = optimize(tree, model, cfg);
+  EXPECT_GT(plan.stats.prover_lb_node_bytes, 0u);
+  // The certified bound can never exceed what the chosen plan spends.
+  EXPECT_LE(plan.stats.prover_lb_node_bytes, plan.bytes_per_node());
+
+  const OptimizedPlan back =
+      plan_from_json(plan_to_json(plan, tree.space()), tree);
+  EXPECT_EQ(back.stats.prover_lb_node_bytes,
+            plan.stats.prover_lb_node_bytes);
+
+  // Prover off (or no limit): no bound is claimed.
+  OptimizerConfig off = cfg;
+  off.enable_static_prover = false;
+  EXPECT_EQ(optimize(tree, model, off).stats.prover_lb_node_bytes, 0u);
+}
+
+TEST(LintProver, NeverRejectsAFeasibleInstanceOnPinnedWindow) {
+  // The soundness property the fuzz oracle enforces, pinned to the
+  // documented CI window: seeds 1..200, lint oracle only.
+  fuzz::FuzzOptions opts;
+  opts.seed = 1;
+  opts.runs = 200;
+  opts.oracle = "lint";
+  const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
+  EXPECT_TRUE(report.failures.empty()) << report.str();
+  EXPECT_GT(report.executed.at("lint"), 0);
+}
+
+// ------------------------------------------------------- report format
+
+TEST(LintReporting, MemInfeasibleDiagnosticCarriesCertificate) {
+  LintConfig cfg;
+  cfg.mem_limit_node_bytes = kMatmul8kBound - 1;
+  const LintReport r = lint_text(kMatmul8k, nullptr, cfg);
+  EXPECT_TRUE(has_rule(r, "mem.infeasible"));
+  ASSERT_TRUE(r.certificate.has_value());
+  EXPECT_EQ(r.certificate->lower_bound_node_bytes, kMatmul8kBound);
+  EXPECT_NE(r.str().find("certificate rule=mem.infeasible"),
+            std::string::npos);
+  EXPECT_NE(r.str().find("rules checked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tce

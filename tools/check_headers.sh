@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Header hygiene: every public header must compile standalone (pull in
+# everything it uses, no hidden include-order dependencies).  Each header
+# is compiled as its own translation unit with -fsyntax-only; a failure
+# prints the compiler diagnostics and the script exits nonzero.
+#
+# Usage: tools/check_headers.sh [compiler]   (default: c++)
+set -u
+
+cd "$(dirname "$0")/.."
+CXX="${1:-c++}"
+
+status=0
+checked=0
+for hdr in $(find src -name '*.hpp' | sort); do
+  checked=$((checked + 1))
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Isrc \
+      -x c++ "$hdr" 2>/tmp/hdr_err.$$; then
+    echo "FAIL $hdr"
+    cat /tmp/hdr_err.$$
+    status=1
+  fi
+done
+rm -f /tmp/hdr_err.$$
+
+if [ "$status" -eq 0 ]; then
+  echo "ok: $checked headers compile standalone"
+else
+  echo "header hygiene check failed"
+fi
+exit "$status"
