@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
               .field("mem_per_node_bytes", plan.bytes_per_node())
               .field("buffer_per_node_bytes", plan.buffer_bytes_per_node())
               .field("verifier_rules_checked", report.rules_checked)
+              .field("comm_lb_words", plan.stats.comm_lb_words)
+              .field("achieved_comm_words",
+                     plan.stats.achieved_comm_words)
+              .field("comm_gap_ratio", plan.stats.comm_gap_ratio)
               .field("opt_wall_ms", opt_wall_ms)
               .field("threads", threads));
   out.finish();

@@ -7,6 +7,7 @@
 #include "tce/codegen/codegen.hpp"
 #include "tce/common/assert.hpp"
 #include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
 #include "tce/core/forest.hpp"
 #include "tce/fuzz/harness.hpp"
 #include "tce/lint/lint.hpp"
@@ -71,7 +72,7 @@ usage:
       limit" with a machine-readable certificate (docs/LINT.md).  Every
       independent finding is reported, tagged with a stable rule id, in
       a deterministic order.  Exits 8 when error-severity findings
-      exist, 0 otherwise (warnings alone do not fail).
+      exist, 0 otherwise (warnings and infos alone do not fail).
         --procs N            processors, a perfect square (default 16)
         --procs-per-node N   processors per node (default 2)
         --mem-limit SIZE     per-node limit for the infeasibility prover
@@ -80,6 +81,18 @@ usage:
                              bundled simulated itanium-2003 cluster)
         --no-fusion          analyze without loop fusion
         --liveness           liveness-aware memory accounting (extension)
+        --comm-bounds        also run the communication lower-bound
+                             prover: per-node certified bound table
+                             (rule comm.lb-certificate, info) and a
+                             warning when the memory limit, not the
+                             template geometry, dominates the bound
+                             (rule comm.limit-dominated)
+        --replication        assume the replicate-compute-reduce
+                             template is available (shrinks the
+                             communication bound)
+        --json               machine-readable diagnostics ("tce-lint/1",
+                             docs/FORMATS.md) instead of text; exit
+                             codes are unchanged
 
   tcemin opmin <program-file>
       Operation-minimize every multi-factor statement and print the
@@ -111,7 +124,7 @@ usage:
         --max-nodes N        max contraction/reduction nodes per tree
                              (default 3; brute-force oracle caps at 3)
         --oracle NAME        all (default), brute, threads, verify,
-                             simnet, exec, or lint
+                             simnet, exec, lint, or commlb
         --no-shrink          report failures without minimizing them
 
   tcemin help
@@ -297,7 +310,11 @@ void verify_or_throw(const ContractionTree& tree, const MachineModel& model,
 std::string render_diagnostics(const std::vector<lint::Diagnostic>& diags) {
   std::string out;
   for (const lint::Diagnostic& d : diags) {
-    out += d.severity == lint::Severity::kError ? "  error" : "  warning";
+    switch (d.severity) {
+      case lint::Severity::kError: out += "  error"; break;
+      case lint::Severity::kWarning: out += "  warning"; break;
+      case lint::Severity::kInfo: out += "  info"; break;
+    }
     if (!d.node.empty()) out += " node=" + d.node;
     out += " rule=" + d.rule + ": " + d.message + "\n";
   }
@@ -316,6 +333,62 @@ std::string render_diagnostics(const std::vector<lint::Diagnostic>& diags) {
               " structural errors:\n" + render_diagnostics(errs));
 }
 
+/// Renders a LintReport as the stable "tce-lint/1" JSON document
+/// (docs/FORMATS.md): every diagnostic with its rule id, plus both
+/// machine-readable certificate families.
+std::string lint_report_json(const lint::LintReport& report) {
+  json::ArrayWriter diags;
+  for (const lint::Diagnostic& d : report.diagnostics) {
+    const char* sev = d.severity == lint::Severity::kError     ? "error"
+                      : d.severity == lint::Severity::kWarning ? "warning"
+                                                               : "info";
+    diags.element(json::ObjectWriter()
+                      .field("severity", sev)
+                      .field("node", d.node)
+                      .field("rule", d.rule)
+                      .field("message", d.message)
+                      .str());
+  }
+  json::ObjectWriter out;
+  out.field("schema", "tce-lint/1")
+      .field("ok", report.ok())
+      .field("rules_checked", report.rules_checked)
+      .raw("diagnostics", diags.str());
+  if (report.certificate.has_value()) {
+    const lint::InfeasibilityCertificate& c = *report.certificate;
+    out.raw("mem_certificate",
+            json::ObjectWriter()
+                .field("rule", "mem.infeasible")
+                .field("node", c.node)
+                .field("lower_bound_node_bytes", c.lower_bound_node_bytes)
+                .field("mem_limit_node_bytes", c.mem_limit_node_bytes)
+                .str());
+  }
+  if (!report.comm_certificates.empty()) {
+    json::ArrayWriter certs;
+    for (const lint::CommBoundResult& cb : report.comm_certificates) {
+      json::ArrayWriter nodes;
+      for (const lint::NodeCommBound& nb : cb.nodes) {
+        nodes.element(json::ObjectWriter()
+                          .field("node", nb.node)
+                          .field("lb_words", nb.lb_words)
+                          .field("lb_struct_words", nb.lb_struct_words)
+                          .field("lb_mem_words", nb.lb_mem_words)
+                          .field("limit_dominated", nb.limit_dominated)
+                          .str());
+      }
+      certs.element(json::ObjectWriter()
+                        .field("rule", "comm.lb-certificate")
+                        .field("root", cb.root)
+                        .field("comm_lb_words", cb.root_lb_words)
+                        .raw("nodes", nodes.str())
+                        .str());
+    }
+    out.raw("comm_certificates", certs.str());
+  }
+  return out.str() + "\n";
+}
+
 std::string cmd_lint(Args args) {
   const std::string path = args.take_positional("program file");
   const auto procs =
@@ -325,6 +398,9 @@ std::string cmd_lint(Args args) {
   const std::uint64_t mem_limit = args.take_size("--mem-limit", "");
   const bool no_fusion = args.take_flag("--no-fusion");
   const bool liveness = args.take_flag("--liveness");
+  const bool comm_bounds = args.take_flag("--comm-bounds");
+  const bool replication = args.take_flag("--replication");
+  const bool json_out = args.take_flag("--json");
   CharacterizedModel model = load_or_measure(args, procs, per_node);
   args.expect_empty();
 
@@ -333,10 +409,14 @@ std::string cmd_lint(Args args) {
   cfg.mem_limit_node_bytes = mem_limit;
   cfg.enable_fusion = !no_fusion;
   cfg.liveness_aware = liveness;
+  cfg.comm_bounds = comm_bounds;
+  cfg.enable_replication = replication;
   const lint::LintReport report = lint::lint_program(
       program, ProcGrid::make(procs, per_node), &model.table(), cfg);
-  if (!report.ok()) throw LintFindingsError(report.str());
-  return report.str();
+  const std::string rendered =
+      json_out ? lint_report_json(report) : report.str();
+  if (!report.ok()) throw LintFindingsError(rendered);
+  return rendered;
 }
 
 std::string cmd_plan(Args args) {
@@ -558,7 +638,7 @@ std::string cmd_fuzz(Args args) {
   if (!fuzz::oracle_name_ok(opts.oracle)) {
     throw UsageError("unknown oracle '" + opts.oracle +
                      "'; expected all, brute, threads, verify, simnet, "
-                     "exec or lint");
+                     "exec, lint or commlb");
   }
   const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
   if (!report.failures.empty()) {

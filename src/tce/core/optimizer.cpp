@@ -1273,6 +1273,36 @@ std::uint64_t prove_or_throw(const ContractionTree& tree,
   return pr.root_lower_bound_node_bytes;
 }
 
+/// Stamps the communication-optimality accounting (tce/lint comm
+/// prover): the certified lower bound, this plan's canonical achieved
+/// words, and their ratio.
+void stamp_comm_gap(const ContractionTree& tree, const MachineModel& model,
+                    std::uint64_t comm_lb, OptimizedPlan& plan) {
+  plan.stats.comm_lb_words = comm_lb;
+  plan.stats.achieved_comm_words =
+      lint::plan_comm_words(tree, plan, model.grid());
+  if (comm_lb != 0) {
+    plan.stats.comm_gap_ratio =
+        static_cast<double>(plan.stats.achieved_comm_words) /
+        static_cast<double>(comm_lb);
+  } else {
+    // A zero bound makes no optimality claim — unless the plan is also
+    // communication-free, in which case it is trivially optimal.
+    plan.stats.comm_gap_ratio =
+        plan.stats.achieved_comm_words == 0 ? 1.0 : 0.0;
+  }
+}
+
+/// The communication prover's view of the active configuration.
+lint::CommBoundConfig comm_config(const OptimizerConfig& config) {
+  lint::CommBoundConfig ccfg;
+  ccfg.mem_limit_node_bytes = config.mem_limit_node_bytes;
+  ccfg.enable_fusion =
+      config.enable_fusion || config.fixed_fusions.has_value();
+  ccfg.enable_replication = config.enable_replication_template;
+  return ccfg;
+}
+
 }  // namespace
 
 OptimizedPlan optimize(const ContractionTree& tree,
@@ -1280,9 +1310,12 @@ OptimizedPlan optimize(const ContractionTree& tree,
                        const OptimizerConfig& config) {
   const obs::TraceSpan span("optimize", "optimizer");
   const std::uint64_t prover_lb = prove_or_throw(tree, model, config);
+  const std::uint64_t comm_lb =
+      lint::prove_comm(tree, model.grid(), comm_config(config)).root_lb_words;
   Search search(tree, model, config);
   OptimizedPlan plan = search.run();
   plan.stats.prover_lb_node_bytes = prover_lb;
+  stamp_comm_gap(tree, model, comm_lb, plan);
   maybe_verify(tree, model, config, plan);
   return plan;
 }
@@ -1292,10 +1325,13 @@ std::vector<OptimizedPlan> optimize_frontier(const ContractionTree& tree,
                                              const OptimizerConfig& config) {
   const obs::TraceSpan span("optimize_frontier", "optimizer");
   const std::uint64_t prover_lb = prove_or_throw(tree, model, config);
+  const std::uint64_t comm_lb =
+      lint::prove_comm(tree, model.grid(), comm_config(config)).root_lb_words;
   Search search(tree, model, config);
   std::vector<OptimizedPlan> plans = search.run_frontier();
   for (OptimizedPlan& plan : plans) {
     plan.stats.prover_lb_node_bytes = prover_lb;
+    stamp_comm_gap(tree, model, comm_lb, plan);
     maybe_verify(tree, model, config, plan);
   }
   return plans;

@@ -36,6 +36,14 @@ std::string OptimizerStats::str() const {
     out += "  certified LB/node:   " + std::to_string(prover_lb_node_bytes) +
            " bytes\n";
   }
+  out += "  comm LB (certified): " + std::to_string(comm_lb_words) +
+         " words/proc\n";
+  out += "  comm achieved:       " + std::to_string(achieved_comm_words) +
+         " words/proc\n";
+  out += "  comm gap ratio:      " +
+         (comm_gap_ratio == 0.0 ? std::string("N/A (no optimality claim)")
+                                : fixed(comm_gap_ratio, 3)) +
+         "\n";
   out += "  search wall time:    " + fixed(search_wall_s * 1e3, 2) + " ms\n";
   if (!nodes.empty()) {
     TextTable t({"Node", "Result", "Candidates", "Infeasible", "Dominated",

@@ -87,6 +87,18 @@ struct OptimizerStats {
   /// did not run (disabled, or no memory limit).  Deterministic — a pure
   /// function of tree, grid and config.
   std::uint64_t prover_lb_node_bytes = 0;
+  /// Certified per-processor communication lower bound for the tree
+  /// (tce/lint comm prover), in 8-byte words: no plan under this
+  /// configuration can move less.  Deterministic — a pure function of
+  /// tree, grid and config.
+  std::uint64_t comm_lb_words = 0;
+  /// This plan's canonical achieved communication volume, in words per
+  /// processor (lint::plan_comm_words); always ≥ comm_lb_words.
+  std::uint64_t achieved_comm_words = 0;
+  /// achieved_comm_words / comm_lb_words — the optimality gap (1.0 =
+  /// provably communication-optimal).  When the bound is 0: 1.0 for a
+  /// communication-free plan, else 0 (= no optimality claim).
+  double comm_gap_ratio = 0;
   double search_wall_s = 0;          ///< Total optimize() wall time.
   std::vector<NodeSearchStats> nodes;  ///< Per-node effort, post-order.
 

@@ -205,6 +205,10 @@ std::string plan_to_json(const OptimizedPlan& plan,
          std::to_string(plan.stats.extrapolations);
   out += ",\"prover_lb_node_bytes\":" +
          std::to_string(plan.stats.prover_lb_node_bytes);
+  out += ",\"comm_lb_words\":" + std::to_string(plan.stats.comm_lb_words);
+  out += ",\"achieved_comm_words\":" +
+         std::to_string(plan.stats.achieved_comm_words);
+  out += ",\"comm_gap_ratio\":" + jnum(plan.stats.comm_gap_ratio);
   out += ",\"search_wall_s\":" + jnum(plan.stats.search_wall_s);
   out += ",\"nodes\":[";
   for (std::size_t i = 0; i < plan.stats.nodes.size(); ++i) {
@@ -344,6 +348,15 @@ OptimizedPlan plan_from_json(const std::string& json,
     }
     if (const Json* v = stats->find("prover_lb_node_bytes"); v != nullptr) {
       plan.stats.prover_lb_node_bytes = as_u64(*v, "prover_lb_node_bytes");
+    }
+    if (const Json* v = stats->find("comm_lb_words"); v != nullptr) {
+      plan.stats.comm_lb_words = as_u64(*v, "comm_lb_words");
+    }
+    if (const Json* v = stats->find("achieved_comm_words"); v != nullptr) {
+      plan.stats.achieved_comm_words = as_u64(*v, "achieved_comm_words");
+    }
+    if (const Json* v = stats->find("comm_gap_ratio"); v != nullptr) {
+      plan.stats.comm_gap_ratio = as_number(*v, "comm_gap_ratio");
     }
     if (const Json* v = stats->find("search_wall_s"); v != nullptr) {
       plan.stats.search_wall_s = as_number(*v, "search_wall_s");

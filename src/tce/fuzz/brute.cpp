@@ -23,6 +23,7 @@ struct BOperand {
   std::uint64_t peak = 0;
   std::uint64_t working = 0;
   std::uint64_t input_bytes = 0;
+  std::uint64_t comm_words = 0;
   IndexSet loop_indices;
 };
 
@@ -30,7 +31,7 @@ class Brute {
   using DedupKey =
       std::tuple<Distribution, std::uint64_t, double, std::uint64_t,
                  std::uint64_t, std::uint64_t, std::uint64_t,
-                 std::uint64_t>;
+                 std::uint64_t, std::uint64_t>;
   using Dedup = std::set<DedupKey>;
 
  public:
@@ -96,6 +97,13 @@ class Brute {
     return r;
   }
 
+  /// Integer fused-loop trip count (the word accounting stays exact).
+  std::uint64_t trip_count(IndexSet f_eff) const {
+    std::uint64_t r = 1;
+    for (IndexId j : f_eff) r = checked_mul(r, space_.extent(j));
+    return r;
+  }
+
   double duplication_penalty(NodeId id, int split_dims) const {
     double dup = 1.0;
     for (int d = split_dims; d < 2; ++d) {
@@ -131,6 +139,7 @@ class Brute {
       o.peak = s.peak;
       o.working = s.working;
       o.input_bytes = s.input_bytes;
+      o.comm_words = s.comm_words;
       o.loop_indices = cn.loop_indices();
       if (s.dist == beta) {
         out.push_back(o);
@@ -140,6 +149,10 @@ class Brute {
         o.max_msg = std::max(
             o.max_msg,
             dist_bytes(cn.tensor, s.dist, IndexSet(), space_, grid_));
+        // The reshuffle moves the source block once.
+        o.comm_words = checked_add(
+            o.comm_words,
+            dist_size(cn.tensor, s.dist, IndexSet(), space_, grid_));
         out.push_back(o);
       }
     }
@@ -150,7 +163,7 @@ class Brute {
   void keep(std::vector<BruteSol>& sols, Dedup& seen, BruteSol s) {
     const auto key = std::make_tuple(s.dist, s.fusion.bits(), s.cost,
                                      s.mem, s.max_msg, s.peak, s.working,
-                                     s.input_bytes);
+                                     s.input_bytes, s.comm_words);
     if (!seen.insert(key).second) return;
     sols.push_back(std::move(s));
     if (sols.size() > cap_) over_cap_ = true;
@@ -192,10 +205,13 @@ class Brute {
             }
             const IndexSet f_eff = f_u | lo.fusion | ro.fusion;
             const double repeat = repeat_factor(f_eff);
+            const std::uint64_t trips = trip_count(f_eff);
+            const std::uint64_t hops = grid_.edge - 1;
 
             BruteSol s;
             s.dist = alpha;
             s.fusion = f_u;
+            s.comm_words = checked_add(lo.comm_words, ro.comm_words);
             double rot = 0;
             std::uint64_t msg = std::max(lo.max_msg, ro.max_msg);
             if (c.rotates_left()) {
@@ -203,12 +219,18 @@ class Brute {
                   dist_bytes(lref, beta, f_eff, space_, grid_);
               rot += repeat * model_.rotate_cost(block, c.left_rot_dim());
               msg = std::max(msg, block);
+              s.comm_words = checked_add(
+                  s.comm_words,
+                  checked_mul(trips, checked_mul(hops, block / 8)));
             }
             if (c.rotates_right()) {
               const std::uint64_t block =
                   dist_bytes(rref, gamma, f_eff, space_, grid_);
               rot += repeat * model_.rotate_cost(block, c.right_rot_dim());
               msg = std::max(msg, block);
+              s.comm_words = checked_add(
+                  s.comm_words,
+                  checked_mul(trips, checked_mul(hops, block / 8)));
             }
             if (c.rotates_result()) {
               const std::uint64_t block =
@@ -216,6 +238,9 @@ class Brute {
               rot +=
                   repeat * model_.rotate_cost(block, c.result_rot_dim());
               msg = std::max(msg, block);
+              s.comm_words = checked_add(
+                  s.comm_words,
+                  checked_mul(trips, checked_mul(hops, block / 8)));
             }
             s.cost = lo.cost + ro.cost + lo.redist + ro.redist + rot +
                      dup_penalty;
@@ -282,10 +307,13 @@ class Brute {
         s.fusion = f_u;
         std::uint64_t msg = co.max_msg;
         double allreduce = 0;
+        s.comm_words = co.comm_words;
         if (needs_allreduce) {
           const std::uint64_t block = own_mem;
           allreduce = repeat_factor(f_u) * model_.redistribute_cost(block);
           msg = std::max(msg, block);
+          s.comm_words = checked_add(
+              s.comm_words, checked_mul(trip_count(f_u), block / 8));
         }
         s.cost = co.cost + allreduce;
         s.mem = checked_add(co.mem, own_mem);

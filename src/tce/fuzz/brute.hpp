@@ -42,6 +42,12 @@ struct BruteSol {
   std::uint64_t peak = 0;
   std::uint64_t working = 0;
   std::uint64_t input_bytes = 0;
+  /// Canonical communication volume in words/processor, accumulated
+  /// with exactly lint::plan_comm_words' accounting (rotations count
+  /// (√P−1) blocks per sweep, redistributions the source block, reduce
+  /// allreduces the result block, each times the fused trip count) —
+  /// the differential reference for the `commlb` fuzz oracle.
+  std::uint64_t comm_words = 0;
 
   /// The limit-checked memory metric under the given accounting mode.
   std::uint64_t metric(bool liveness) const {

@@ -19,7 +19,7 @@ namespace {
 
 const std::vector<std::string>& all_oracles() {
   static const std::vector<std::string> names = {
-      "brute", "threads", "verify", "simnet", "exec", "lint"};
+      "brute", "threads", "verify", "simnet", "exec", "lint", "commlb"};
   return names;
 }
 
@@ -123,6 +123,14 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     oracles = all_oracles();
   } else {
     oracles = {opts.oracle};
+  }
+
+  // Pre-register every selected oracle so an always-skipped oracle still
+  // shows up in the report (str() iterates `executed`): a silently
+  // absent row would hide a 100% skip rate.
+  for (const std::string& name : oracles) {
+    report.executed[name];
+    report.skipped[name];
   }
 
   TableCache tables;

@@ -298,6 +298,61 @@ OracleOutcome oracle_lint(const OracleInput& in) {
   return pass();
 }
 
+OracleOutcome oracle_commlb(const OracleInput& in) {
+  const OptimizerConfig cfg = config_of(*in.inst);
+  lint::CommBoundConfig ccfg;
+  ccfg.mem_limit_node_bytes = cfg.mem_limit_node_bytes;
+  ccfg.enable_fusion = cfg.enable_fusion || cfg.fixed_fusions.has_value();
+  ccfg.enable_replication = cfg.enable_replication_template;
+  const std::uint64_t lb =
+      lint::prove_comm(*in.tree, in.model->grid(), ccfg).root_lb_words;
+
+  bool checked = false;
+
+  // The DP plan: the stamped stats must match independent recomputation
+  // and the certified bound must hold.
+  if (const auto plan = try_optimize(in)) {
+    checked = true;
+    if (plan->stats.comm_lb_words != lb) {
+      return fail("stamped comm_lb_words " +
+                  std::to_string(plan->stats.comm_lb_words) +
+                  " != recomputed certificate " + std::to_string(lb));
+    }
+    const std::uint64_t achieved =
+        lint::plan_comm_words(*in.tree, *plan, in.model->grid());
+    if (plan->stats.achieved_comm_words != achieved) {
+      return fail("stamped achieved_comm_words " +
+                  std::to_string(plan->stats.achieved_comm_words) +
+                  " != recomputed " + std::to_string(achieved));
+    }
+    if (lb > achieved) {
+      return fail("UNSOUND: certified comm LB " + std::to_string(lb) +
+                  " words/proc exceeds the DP plan's achieved " +
+                  std::to_string(achieved));
+    }
+  }
+
+  // Every exhaustive root solution, inside brute force's domain.
+  if (!in.inst->replication) {
+    const BruteResult br = brute_force(*in.tree, *in.model, cfg);
+    if (!br.skipped) {
+      for (const BruteSol& s : br.root) {
+        checked = true;
+        if (lb > s.comm_words) {
+          return fail("UNSOUND: certified comm LB " + std::to_string(lb) +
+                      " words/proc exceeds a brute-force plan's achieved " +
+                      std::to_string(s.comm_words));
+        }
+      }
+    }
+  }
+
+  if (!checked) {
+    return skip("no feasible plan to compare the certificate against");
+  }
+  return pass();
+}
+
 OracleOutcome run_oracle(const std::string& name, const OracleInput& in) {
   if (name == "brute") return oracle_brute(in);
   if (name == "threads") return oracle_threads(in);
@@ -305,6 +360,7 @@ OracleOutcome run_oracle(const std::string& name, const OracleInput& in) {
   if (name == "simnet") return oracle_simnet(in);
   if (name == "exec") return oracle_exec(in);
   if (name == "lint") return oracle_lint(in);
+  if (name == "commlb") return oracle_commlb(in);
   TCE_UNREACHABLE("unknown oracle name");
 }
 

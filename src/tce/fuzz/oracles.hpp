@@ -15,6 +15,11 @@
 ///            whenever it certifies "no plan fits", the raw DP (fast
 ///            path disabled) and brute-force enumeration both agree;
 ///            prover silence claims nothing and is never checked
+///   commlb   the static communication lower-bound prover is sound:
+///            CommLB(root) ≤ the canonical achieved word count of the
+///            DP plan and of every brute-force root solution, and the
+///            stats stamped on the DP plan (comm_lb_words,
+///            achieved_comm_words) match independent recomputation
 ///
 /// Each oracle returns pass / skip / fail plus a human-readable detail;
 /// a skip means the instance is outside the oracle's domain (e.g. a
@@ -52,9 +57,11 @@ OracleOutcome oracle_verify(const OracleInput& in);
 OracleOutcome oracle_simnet(const OracleInput& in);
 OracleOutcome oracle_exec(const OracleInput& in);
 OracleOutcome oracle_lint(const OracleInput& in);
+OracleOutcome oracle_commlb(const OracleInput& in);
 
 /// Runs the named oracle ("brute", "threads", "verify", "simnet",
-/// "exec", "lint").  Throws ContractViolation on an unknown name.
+/// "exec", "lint", "commlb").  Throws ContractViolation on an unknown
+/// name.
 OracleOutcome run_oracle(const std::string& name, const OracleInput& in);
 
 }  // namespace tce::fuzz

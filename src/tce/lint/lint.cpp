@@ -324,11 +324,16 @@ std::string InfeasibilityCertificate::str() const {
 std::string LintReport::str() const {
   std::string out;
   for (const Diagnostic& d : diagnostics) {
-    out += d.severity == Severity::kError ? "error" : "warning";
+    switch (d.severity) {
+      case Severity::kError: out += "error"; break;
+      case Severity::kWarning: out += "warning"; break;
+      case Severity::kInfo: out += "info"; break;
+    }
     if (!d.node.empty()) out += " node=" + d.node;
     out += " rule=" + d.rule + ": " + d.message + "\n";
   }
   if (certificate) out += certificate->str() + "\n";
+  for (const CommBoundResult& cb : comm_certificates) out += cb.str();
   out += std::to_string(rules_checked) + " rules checked, " +
          std::to_string(diagnostics.size()) + " diagnostics\n";
   return out;
@@ -449,6 +454,36 @@ LintReport lint_program(const ParsedProgram& program, const ProcGrid& grid,
                  " (binding node '" + pr.certificate->node + "')");
         if (!rep.certificate) rep.certificate = pr.certificate;
       }
+    }
+  }
+
+  if (cfg.comm_bounds) {
+    CommBoundConfig ccfg;
+    ccfg.mem_limit_node_bytes = cfg.mem_limit_node_bytes;
+    ccfg.enable_fusion = cfg.enable_fusion;
+    ccfg.enable_replication = cfg.enable_replication;
+    for (const ContractionTree& tree : forest.trees) {
+      ++rep.rules_checked;  // comm.lb-certificate
+      CommBoundResult cb = prove_comm(tree, grid, ccfg);
+      std::uint64_t contractions = cb.nodes.size();
+      emit(rep, Severity::kInfo, cb.root, "comm.lb-certificate",
+           "certified communication lower bound " +
+               std::to_string(cb.root_lb_words) +
+               " words/processor across " + std::to_string(contractions) +
+               " contraction step" + (contractions == 1 ? "" : "s"));
+      ++rep.rules_checked;  // comm.limit-dominated
+      for (const NodeCommBound& nb : cb.nodes) {
+        if (nb.limit_dominated) {
+          emit(rep, Severity::kWarning, nb.node, "comm.limit-dominated",
+               "the memory limit forces the communication bound at '" +
+                   nb.node + "' to " + std::to_string(nb.lb_mem_words) +
+                   " words/processor, above the unconstrained structural "
+                   "bound " +
+                   std::to_string(nb.lb_struct_words) +
+                   " (the cap, not the template geometry, dominates)");
+        }
+      }
+      rep.comm_certificates.push_back(std::move(cb));
     }
   }
   return rep;

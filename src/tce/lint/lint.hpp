@@ -45,6 +45,14 @@
 ///   mem.infeasible              the memory-infeasibility prover
 ///                               certifies that no plan can satisfy the
 ///                               per-node limit (see below)
+///   comm.lb-certificate         informational: the communication
+///                               prover's certified per-processor lower
+///                               bound for a tree (comm_bounds.hpp);
+///                               the per-node table is carried in
+///                               LintReport::comm_certificates
+///   comm.limit-dominated        the memory cap forces a node's
+///                               communication bound above the
+///                               unconstrained structural bound
 ///
 /// The memory-infeasibility prover (`prove_memory`) computes, for every
 /// tree node v, a lower bound on the per-processor resident bytes any
@@ -75,15 +83,18 @@
 #include "tce/dist/grid.hpp"
 #include "tce/expr/contraction.hpp"
 #include "tce/expr/parser.hpp"
+#include "tce/lint/comm_bounds.hpp"
 
 namespace tce::lint {
 
 /// How bad a finding is: errors mean the problem cannot be planned as
 /// stated (the planner would reject it or provably fail); warnings are
-/// suspicious but plannable.
+/// suspicious but plannable; info findings carry certificates and
+/// measurements, not complaints.
 enum class Severity {
   kError,
   kWarning,
+  kInfo,
 };
 
 /// One lint finding.
@@ -113,6 +124,12 @@ struct LintConfig {
   std::uint64_t mem_limit_node_bytes = 0;  ///< 0 = unlimited (prover off).
   bool enable_fusion = true;   ///< Mirrors OptimizerConfig::enable_fusion.
   bool liveness_aware = false; ///< Mirrors OptimizerConfig::liveness_aware.
+  /// Run the communication lower-bound prover (rules comm.lb-certificate
+  /// and comm.limit-dominated).
+  bool comm_bounds = false;
+  /// Mirrors OptimizerConfig::enable_replication_template (shrinks the
+  /// communication bound — the allgather escape hatch).
+  bool enable_replication = false;
 };
 
 /// The lint verdict: every finding, plus how many rule evaluations ran
@@ -122,6 +139,9 @@ struct LintReport {
   std::uint64_t rules_checked = 0;
   /// Set iff a mem.infeasible diagnostic was emitted.
   std::optional<InfeasibilityCertificate> certificate;
+  /// One communication certificate per tree, in forest order (filled
+  /// iff LintConfig::comm_bounds is set and the forest was buildable).
+  std::vector<CommBoundResult> comm_certificates;
 
   bool ok() const {
     for (const Diagnostic& d : diagnostics) {
@@ -165,10 +185,12 @@ std::vector<Diagnostic> structural_errors(const ParsedProgram& program);
 
 /// The full analysis: structural rules, program hygiene warnings, tree
 /// anti-patterns, model-interaction lints (skipped when \p table is
-/// null) and the memory-infeasibility prover (skipped when the limit is
-/// 0).  Diagnostics are emitted in a deterministic order: per-statement
-/// rules in program order, program-level rules, tree rules in post
-/// order per tree, model rules, memory rule.
+/// null), the memory-infeasibility prover (skipped when the limit is
+/// 0) and the communication prover (skipped unless
+/// LintConfig::comm_bounds).  Diagnostics are emitted in a
+/// deterministic order: per-statement rules in program order,
+/// program-level rules, tree rules in post order per tree, model rules,
+/// memory rule, comm rules.
 LintReport lint_program(const ParsedProgram& program, const ProcGrid& grid,
                         const CharacterizationTable* table,
                         const LintConfig& cfg);

@@ -77,7 +77,8 @@ TEST(FuzzOracles, PinnedBudgetHasNoDisagreements) {
   EXPECT_TRUE(report.failures.empty()) << report.str();
   // Every oracle must actually have checked instances in the budget —
   // an all-skip would make the gate vacuous.
-  for (const char* name : {"brute", "threads", "verify", "simnet", "exec"}) {
+  for (const char* name :
+       {"brute", "threads", "verify", "simnet", "exec", "lint", "commlb"}) {
     const auto it = report.executed.find(name);
     ASSERT_NE(it, report.executed.end()) << name << "\n" << report.str();
     EXPECT_GT(it->second, 0) << name << "\n" << report.str();
@@ -99,8 +100,52 @@ TEST(FuzzOracles, NameValidation) {
   EXPECT_TRUE(oracle_name_ok("all"));
   EXPECT_TRUE(oracle_name_ok("brute"));
   EXPECT_TRUE(oracle_name_ok("exec"));
+  EXPECT_TRUE(oracle_name_ok("commlb"));
   EXPECT_FALSE(oracle_name_ok("astrology"));
   EXPECT_FALSE(oracle_name_ok(""));
+}
+
+TEST(FuzzOracles, CommLbSoundOnPinnedWindow) {
+  // The CI gate for the communication lower-bound certificate: over the
+  // documented 200-seed window the bound must never exceed the achieved
+  // word count of any DP or brute-force plan, and must actually bite —
+  // the skip rate (instances with no feasible plan to compare against)
+  // stays below 15% so the gate cannot rot into vacuity.
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.runs = 200;
+  opts.oracle = "commlb";
+  const FuzzReport report = run_fuzz(opts);
+  EXPECT_TRUE(report.failures.empty()) << report.str();
+  EXPECT_GT(report.executed.at("commlb"), 0) << report.str();
+  EXPECT_LE(report.skipped.at("commlb"), 30) << report.str();
+}
+
+TEST(FuzzOracles, SkipTelemetryListsAlwaysSkippedOracles) {
+  // A replication instance is outside brute force's domain, so a
+  // one-run brute-only fuzz is 100% skips — the report must still show
+  // the oracle's row instead of silently dropping it (the bug this
+  // guards against: str() iterates `executed`, which the skip path
+  // never touched).
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    if (generate_instance(s, {}).replication) {
+      seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no replication instance in the probe range";
+  FuzzOptions opts;
+  opts.seed = seed;
+  opts.runs = 1;
+  opts.oracle = "brute";
+  const FuzzReport report = run_fuzz(opts);
+  ASSERT_EQ(report.executed.count("brute"), 1u);
+  EXPECT_EQ(report.executed.at("brute"), 0);
+  EXPECT_EQ(report.skipped.at("brute"), 1);
+  EXPECT_NE(report.str().find("brute: 0 checked, 1 skipped"),
+            std::string::npos)
+      << report.str();
 }
 
 // --------------------------------------------------------------- shrinker

@@ -9,6 +9,7 @@
 
 #include "tce/core/optimizer.hpp"
 #include "tce/core/plan_json.hpp"
+#include "tce/costmodel/analytic.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/expr/parser.hpp"
 #include "tce/fuzz/harness.hpp"
@@ -357,6 +358,165 @@ TEST(LintProver, NeverRejectsAFeasibleInstanceOnPinnedWindow) {
   const fuzz::FuzzReport report = fuzz::run_fuzz(opts);
   EXPECT_TRUE(report.failures.empty()) << report.str();
   EXPECT_GT(report.executed.at("lint"), 0);
+}
+
+// ------------------------------------------- communication lower bounds
+
+// One 8x8x8 matmul on a 2x2 grid: every array is 64 words, every
+// rotation pair moves (edge-1)*(wX+wY)/P = 1*128/4 = 32 words/proc.
+constexpr const char* kMatmul8 = R"(
+  index i, j, k = 8
+  C[i,j] = sum[k] A[i,k] * B[k,j]
+)";
+
+ContractionTree tree_of(const char* text) {
+  return ContractionTree::from_sequence(parse_formula_sequence(text));
+}
+
+TEST(CommProver, ExactStructuralBoundOnMatmul) {
+  const ContractionTree tree = tree_of(kMatmul8);
+  const lint::CommBoundResult r =
+      lint::prove_comm(tree, ProcGrid::make(4, 2), {});
+  EXPECT_EQ(r.root_lb_words, 32u);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0].lb_struct_words, 32u);
+  EXPECT_EQ(r.nodes[0].lb_mem_words, 0u);
+  EXPECT_FALSE(r.nodes[0].limit_dominated);
+  EXPECT_NE(r.str().find("certificate rule=comm.lb-certificate"),
+            std::string::npos);
+}
+
+TEST(CommProver, ExtentOneIndexShrinksTheCheapestRotationPair) {
+  // i has extent 1: A and C collapse to 8 words each, so the i-rotation
+  // pair (A,C) costs (8+8)/4 = 4 words/proc — the bound must pick it.
+  const ContractionTree tree = tree_of(R"(
+    index i = 1
+    index j, k = 8
+    C[i,j] = sum[k] A[i,k] * B[k,j]
+  )");
+  const lint::CommBoundResult r =
+      lint::prove_comm(tree, ProcGrid::make(4, 2), {});
+  EXPECT_EQ(r.root_lb_words, 4u);
+}
+
+TEST(CommProver, ReplicationEscapeHatchShrinksTheBound) {
+  // wA = 4, wB = wC = 64: the best rotation pair costs (4+64)/4 = 17,
+  // but allgathering the small operand costs only (P-1)*4/P = 3.  The
+  // relaxation must honor the cheaper template when it is available —
+  // and must NOT assume it when it is not.
+  const ContractionTree tree = tree_of(R"(
+    index i, k = 2
+    index j = 32
+    C[i,j] = sum[k] A[i,k] * B[k,j]
+  )");
+  const ProcGrid grid = ProcGrid::make(4, 2);
+  EXPECT_EQ(lint::prove_comm(tree, grid, {}).root_lb_words, 17u);
+  lint::CommBoundConfig cfg;
+  cfg.enable_replication = true;
+  EXPECT_EQ(lint::prove_comm(tree, grid, cfg).root_lb_words, 3u);
+}
+
+TEST(CommProver, MemoryTermDominatesUnderTightCap) {
+  // 32^3 matmul, P = 16, M = 16 bytes / (8 * 2 procs/node) = 1 word:
+  // the pair-counting term gives 32768/(4*16*1) - 1 = 511 words/proc,
+  // above the structural 3*(1024+1024)/16 = 384 — the cap, not the
+  // geometry, dominates.
+  const ContractionTree tree = tree_of(R"(
+    index i, j, k = 32
+    C[i,j] = sum[k] A[i,k] * B[k,j]
+  )");
+  lint::CommBoundConfig cfg;
+  cfg.mem_limit_node_bytes = 16;
+  const lint::CommBoundResult r =
+      lint::prove_comm(tree, ProcGrid::make(16, 2), cfg);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0].lb_struct_words, 384u);
+  EXPECT_EQ(r.nodes[0].lb_mem_words, 511u);
+  EXPECT_EQ(r.root_lb_words, 511u);
+  EXPECT_TRUE(r.nodes[0].limit_dominated);
+}
+
+TEST(CommProver, LimitDominatedLintWarningCoOccursWithInfeasibility) {
+  LintConfig cfg;
+  cfg.mem_limit_node_bytes = 16;
+  cfg.comm_bounds = true;
+  const LintReport r = lint_text(R"(
+    index i, j, k = 32
+    C[i,j] = sum[k] A[i,k] * B[k,j]
+  )", nullptr, cfg);
+  EXPECT_TRUE(has_rule(r, "mem.infeasible"));
+  EXPECT_TRUE(has_rule(r, "comm.lb-certificate"));
+  EXPECT_TRUE(has_rule(r, "comm.limit-dominated"));
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.rule == "comm.lb-certificate") {
+      EXPECT_EQ(d.severity, Severity::kInfo);
+    }
+    if (d.rule == "comm.limit-dominated") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+    }
+  }
+  ASSERT_EQ(r.comm_certificates.size(), 1u);
+  EXPECT_EQ(r.comm_certificates[0].root_lb_words, 511u);
+}
+
+TEST(CommProver, ForestGetsOneCertificatePerTree) {
+  LintConfig cfg;
+  cfg.comm_bounds = true;
+  const LintReport r = lint_text(R"(
+    index a, b, c = 8
+    index d, e, f = 8
+    R[a,b] = sum[c] X[a,c] * Y[c,b]
+    S[d,e] = sum[f] U[d,f] * V[f,e]
+  )", nullptr, cfg);
+  ASSERT_EQ(r.comm_certificates.size(), 2u);
+  EXPECT_EQ(r.comm_certificates[0].root, "R");
+  EXPECT_EQ(r.comm_certificates[1].root, "S");
+  EXPECT_GT(r.comm_certificates[0].root_lb_words, 0u);
+  EXPECT_GT(r.comm_certificates[1].root_lb_words, 0u);
+}
+
+TEST(CommProver, GapIsExactlyOneOnOptimalMatmul) {
+  // The DP's optimal 8^3 matmul plan rotates two 16-word blocks once
+  // around the 2x2 grid — 32 words/proc, meeting the certified bound
+  // exactly: the certificate proves this plan communication-optimal.
+  const ContractionTree tree = tree_of(kMatmul8);
+  const AnalyticModel model(ProcGrid::make(4, 2), AnalyticParams{});
+  const OptimizedPlan plan = optimize(tree, model);
+  EXPECT_EQ(plan.stats.comm_lb_words, 32u);
+  EXPECT_EQ(plan.stats.achieved_comm_words, 32u);
+  EXPECT_DOUBLE_EQ(plan.stats.comm_gap_ratio, 1.0);
+}
+
+TEST(CommProver, BoundIsInvariantUnderMemoryAccountingMode) {
+  // Liveness-aware vs summed accounting changes which plans fit, never
+  // the certificate: the bound relaxes distribution and fusion choices
+  // identically under both modes.
+  const ContractionTree tree = testing::paper_tree();
+  const CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = testing::kNodeLimit4GB;
+  const OptimizedPlan summed = optimize(tree, model, cfg);
+  cfg.liveness_aware = true;
+  const OptimizedPlan live = optimize(tree, model, cfg);
+  EXPECT_GT(summed.stats.comm_lb_words, 0u);
+  EXPECT_EQ(summed.stats.comm_lb_words, live.stats.comm_lb_words);
+  EXPECT_LE(summed.stats.comm_lb_words, summed.stats.achieved_comm_words);
+  EXPECT_LE(live.stats.comm_lb_words, live.stats.achieved_comm_words);
+}
+
+TEST(CommProver, ReplicatedPlansRespectTheBound) {
+  // With the replicate-compute-reduce template enabled the bound uses
+  // the allgather relaxation; the stamped stats must still satisfy
+  // LB <= achieved and match an independent recomputation.
+  const ContractionTree tree = testing::paper_tree();
+  const CharacterizedModel model(characterize_itanium(16));
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = testing::kNodeLimit4GB;
+  cfg.enable_replication_template = true;
+  const OptimizedPlan plan = optimize(tree, model, cfg);
+  EXPECT_LE(plan.stats.comm_lb_words, plan.stats.achieved_comm_words);
+  EXPECT_EQ(plan.stats.achieved_comm_words,
+            lint::plan_comm_words(tree, plan, model.grid()));
 }
 
 // ------------------------------------------------------- report format

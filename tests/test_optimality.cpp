@@ -16,6 +16,8 @@
 #include "tce/costmodel/rotate_cost.hpp"
 #include "tce/expr/parser.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/fuzz/brute.hpp"
+#include "tce/lint/comm_bounds.hpp"
 
 namespace tce {
 namespace {
@@ -394,6 +396,55 @@ TEST(BruteForceSingle, AllChoicesEnumeratedByDp) {
   }
   OptimizedPlan plan = optimize(tree, model);
   EXPECT_DOUBLE_EQ(plan.total_comm_s, want);
+}
+
+// ------------------------------------- communication-bound soundness
+
+TEST(CommBoundSoundness, CertificateHoldsForEveryBruteSolution) {
+  // The certified lower bound must sit at or below the canonical word
+  // count of EVERY exhaustively enumerated plan — not just the DP's
+  // pick — under several limits that force different plan shapes.
+  ContractionTree tree = ContractionTree::from_sequence(
+      parse_formula_sequence("index a, b, c, d = 64\n"
+                             "T[a,c] = sum[b] X[a,b] * Y[b,c]\n"
+                             "S[a,d] = sum[c] T[a,c] * Z[c,d]"));
+  const AnalyticModel model(ProcGrid::make(16, 2), AnalyticParams{});
+  for (const std::uint64_t limit :
+       {std::uint64_t{0}, std::uint64_t{4} << 20, std::uint64_t{1} << 17}) {
+    OptimizerConfig cfg;
+    cfg.mem_limit_node_bytes = limit;
+    lint::CommBoundConfig ccfg;
+    ccfg.mem_limit_node_bytes = limit;
+    const std::uint64_t lb =
+        lint::prove_comm(tree, model.grid(), ccfg).root_lb_words;
+    const fuzz::BruteResult br = fuzz::brute_force(tree, model, cfg);
+    ASSERT_FALSE(br.skipped);
+    for (const fuzz::BruteSol& s : br.root) {
+      EXPECT_LE(lb, s.comm_words) << "limit=" << limit;
+    }
+  }
+}
+
+TEST(CommBoundSoundness, StampedStatsMatchIndependentRecomputation) {
+  // The optimizer stamps comm_lb_words / achieved_comm_words while it
+  // has the search state in hand; both must equal what the public
+  // prover and accounting compute from the finished plan alone.
+  ContractionTree tree = ContractionTree::from_sequence(
+      parse_formula_sequence("index a, b, c, d = 64\n"
+                             "T[a,c] = sum[b] X[a,b] * Y[b,c]\n"
+                             "S[a,d] = sum[c] T[a,c] * Z[c,d]"));
+  const AnalyticModel model(ProcGrid::make(16, 2), AnalyticParams{});
+  OptimizerConfig cfg;
+  cfg.mem_limit_node_bytes = std::uint64_t{4} << 20;
+  const OptimizedPlan plan = optimize(tree, model, cfg);
+  lint::CommBoundConfig ccfg;
+  ccfg.mem_limit_node_bytes = cfg.mem_limit_node_bytes;
+  EXPECT_EQ(plan.stats.comm_lb_words,
+            lint::prove_comm(tree, model.grid(), ccfg).root_lb_words);
+  EXPECT_EQ(plan.stats.achieved_comm_words,
+            lint::plan_comm_words(tree, plan, model.grid()));
+  EXPECT_LE(plan.stats.comm_lb_words, plan.stats.achieved_comm_words);
+  EXPECT_GT(plan.stats.comm_gap_ratio, 0.0);
 }
 
 }  // namespace

@@ -162,6 +162,14 @@ TEST(PlanJson, RoundTripIsLosslessAndVerifies) {
   // Serializing the reread plan reproduces the bytes exactly.
   EXPECT_EQ(plan_to_json(reread, tree.space()), json);
 
+  // The communication-gap stats survive the codec.
+  EXPECT_GT(plan.stats.comm_lb_words, 0u);
+  EXPECT_EQ(reread.stats.comm_lb_words, plan.stats.comm_lb_words);
+  EXPECT_EQ(reread.stats.achieved_comm_words,
+            plan.stats.achieved_comm_words);
+  EXPECT_DOUBLE_EQ(reread.stats.comm_gap_ratio,
+                   plan.stats.comm_gap_ratio);
+
   // The reread plan passes the full verifier, like the original.
   CharacterizedModel model(characterize_itanium(16));
   VerifyOptions opts;
