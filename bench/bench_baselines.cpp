@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       fields.field("comm_s", o.comm)
           .field("vs_integrated", o.comm / best.comm);
     }
-    out.row(fields);
+    out.planner_row(fields);
   };
   emit("integrated", best);
 

@@ -18,6 +18,7 @@
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/expr/parser.hpp"
+#include "tce/obs/exporters.hpp"
 #include "tce/obs/metrics.hpp"
 
 namespace tce::bench {
@@ -72,28 +73,23 @@ inline unsigned take_threads_arg(int& argc, char** argv) {
 /// docs/FORMATS.md).  Construct at the top of main with argc/argv: a
 /// `--json <file>` pair is consumed (removed from argv) and turns the
 /// emitter on, which also enables the metrics registry so the document
-/// carries the run's counters.  Call row() once per result row with
-/// bench-specific flat fields, and finish() before returning.
+/// carries the run's counters.  A `--metrics <file>` pair is likewise
+/// consumed and additionally writes the registry as its own file at
+/// finish() — Prometheus text, or tce-metrics/1 when the path ends in
+/// .json (docs/FORMATS.md); --metrics alone (without --json) also
+/// enables the registry.  Call row() (or planner_row(), which stamps
+/// the run's p50/p99 search latency) once per result row, and finish()
+/// before returning.
 ///
-/// Without --json the class is inert: the human tables remain the only
-/// output and the metrics registry stays off.
+/// Without --json or --metrics the class is inert: the human tables
+/// remain the only output and the metrics registry stays off.
 class BenchOutput {
  public:
   BenchOutput(std::string bench, int& argc, char** argv)
       : bench_(std::move(bench)) {
-    for (int i = 1; i < argc; ++i) {
-      if (std::string_view(argv[i]) == "--json") {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "error: --json needs a file argument\n");
-          std::exit(2);
-        }
-        path_ = argv[i + 1];
-        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-        argc -= 2;
-        break;
-      }
-    }
-    if (enabled()) {
+    path_ = take_file_arg("--json", argc, argv);
+    metrics_path_ = take_file_arg("--metrics", argc, argv);
+    if (enabled() || !metrics_path_.empty()) {
       obs::metrics_reset();
       obs::metrics_enable(true);
     }
@@ -106,9 +102,34 @@ class BenchOutput {
     if (enabled()) rows_.element(fields.str());
   }
 
-  /// Writes the document.  Exits the process with an error when the
-  /// output file cannot be written, so CI catches a bad --json path.
+  /// Appends one planner result row: \p fields plus `p50_ms`/`p99_ms`
+  /// quantiles of the per-search wall time recorded so far (the
+  /// opt.search_wall_s histogram — every optimize() call this process
+  /// made).  Planner drivers use this so every tce-bench/1 row carries
+  /// the latency distribution behind its timing columns.
+  void planner_row(json::ObjectWriter fields) {
+    if (!enabled()) return;
+    const auto snap = obs::metrics_snapshot();
+    const auto it = snap.find("opt.search_wall_s");
+    if (it != snap.end() && it->second.count > 0) {
+      fields.field("p50_ms", it->second.quantile(0.5) * 1e3);
+      fields.field("p99_ms", it->second.quantile(0.99) * 1e3);
+    }
+    rows_.element(fields.str());
+  }
+
+  /// Writes the document (and the --metrics file when requested).
+  /// Exits the process with an error when an output file cannot be
+  /// written, so CI catches a bad path.
   void finish() {
+    if (!metrics_path_.empty()) {
+      std::string err;
+      if (!obs::write_metrics_file(metrics_path_, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        std::exit(2);
+      }
+      std::printf("wrote %s\n", metrics_path_.c_str());
+    }
     if (!enabled()) return;
     json::ObjectWriter doc;
     doc.field("schema", "tce-bench/1");
@@ -125,8 +146,27 @@ class BenchOutput {
   }
 
  private:
+  static std::string take_file_arg(std::string_view flag, int& argc,
+                                   char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: %.*s needs a file argument\n",
+                       static_cast<int>(flag.size()), flag.data());
+          std::exit(2);
+        }
+        std::string path = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+        argc -= 2;
+        return path;
+      }
+    }
+    return std::string();
+  }
+
   std::string bench_;
   std::string path_;
+  std::string metrics_path_;
   json::ArrayWriter rows_;
 };
 

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     }
     // Both planner invocations of this row (summed + live accounting).
     fields.field("opt_wall_ms", sw.elapsed_s() * 1000);
-    out.row(fields);
+    out.planner_row(fields);
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.str().c_str());

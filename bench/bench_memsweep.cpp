@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       fields.field("opt_wall_ms", sw.elapsed_s() * 1000)
           .field("feasible", false);
     }
-    out.row(fields);
+    out.planner_row(fields);
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

@@ -141,7 +141,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     benchmark::ConsoleReporter::ReportRuns(runs);
     for (const Run& r : runs) {
-      out_.row(json::ObjectWriter()
+      out_.planner_row(json::ObjectWriter()
                    .field("name", r.benchmark_name())
                    .field("iterations", r.iterations)
                    .field("real_time_ns", r.GetAdjustedRealTime())

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                    fixed(plan.total_runtime_s(), 1),
                    fixed(100 * plan.comm_fraction(), 1),
                    format_bytes_paper(plan.bytes_per_node())});
-    out.row(json::ObjectWriter()
+    out.planner_row(json::ObjectWriter()
                 .field("procs", procs)
                 .field("nodes", model.grid().nodes())
                 .field("fused", fused)

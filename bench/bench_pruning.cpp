@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
                    std::to_string(infeasible), std::to_string(dominated),
                    std::to_string(kept), std::to_string(max_per_node),
                    fixed(ms, 1)});
-    out.row(json::ObjectWriter()
+    out.planner_row(json::ObjectWriter()
                 .field("scenario", label)
                 .field("procs", procs)
                 .field("mem_limit_bytes", limit)

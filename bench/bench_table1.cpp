@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  out.row(json::ObjectWriter()
+  out.planner_row(json::ObjectWriter()
               .field("scenario", "paper table 1")
               .field("procs", 64)
               .field("mem_limit_bytes", kNodeLimit4GB)

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  out.row(json::ObjectWriter()
+  out.planner_row(json::ObjectWriter()
               .field("scenario", "paper table 2")
               .field("procs", 16)
               .field("mem_limit_bytes", kNodeLimit4GB)

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     }
     // Both planner invocations of this row (cannon-only + replication).
     fields.field("opt_wall_ms", sw.elapsed_s() * 1000);
-    out.row(fields);
+    out.planner_row(fields);
     table.add_row({label, cannon_s, ext_s, speedup, used});
   }
   std::printf("%s\n", table.str().c_str());

@@ -70,7 +70,7 @@ void predicted_vs_simulated(BenchOutput& out, const char* scenario,
                            : 0.0,
                        1) + "%"});
   std::printf("%s\n", table.str().c_str());
-  out.row(json::ObjectWriter()
+  out.planner_row(json::ObjectWriter()
               .field("scenario", scenario)
               .field("procs", procs)
               .field("predicted_s", pred_total)
@@ -108,7 +108,7 @@ void numeric_validation(BenchOutput& out) {
 
   std::printf("max |distributed - reference| = %.3e  (%s)\n", diff,
               diff < 1e-8 ? "PASS" : "FAIL");
-  out.row(json::ObjectWriter()
+  out.planner_row(json::ObjectWriter()
               .field("scenario", "numeric validation")
               .field("max_abs_diff", diff)
               .field("pass", diff < 1e-8)

@@ -63,6 +63,22 @@ Triple triple_at(const CannonChoice& c, std::uint32_t e, std::uint32_t w1,
   return {w1, moving, w2};  // rot == j
 }
 
+/// Network::run_phases, plus a histogram sample per phase duration
+/// ("cannon.phase_s") when the registry is recording — per-phase
+/// spread is what the p50/p99 of an execution's rotation steps read.
+PhaseResult run_phases_observed(const Network& net,
+                                const std::vector<Phase>& phases) {
+  if (!obs::metrics_enabled()) return net.run_phases(phases);
+  PhaseResult total;
+  for (const Phase& p : phases) {
+    const PhaseResult r = net.run_phase(p);
+    obs::observe("cannon.phase_s", r.total_s());
+    total.comm_s += r.comm_s;
+    total.compute_s += r.compute_s;
+  }
+  return total;
+}
+
 }  // namespace
 
 CannonRunResult run_cannon(const Network& net, const ProcGrid& grid,
@@ -248,7 +264,7 @@ CannonRunResult run_cannon(const Network& net, const ProcGrid& grid,
       place_block(c_blk[p], cr, out.result);
     }
   }
-  out.timing = net.run_phases(phases);
+  out.timing = run_phases_observed(net, phases);
   out.peak_rank_bytes = peak;
   return out;
 }
@@ -418,7 +434,7 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
     }
   }
 
-  out.timing = net.run_phases(phases);
+  out.timing = run_phases_observed(net, phases);
   out.peak_rank_bytes = peak;
   return out;
 }

@@ -15,8 +15,11 @@
 #include "tce/core/simulate.hpp"
 #include "tce/common/strings.hpp"
 #include "tce/common/units.hpp"
+#include "tce/common/timer.hpp"
 #include "tce/core/optimizer.hpp"
 #include "tce/costmodel/characterize.hpp"
+#include "tce/obs/exporters.hpp"
+#include "tce/obs/log.hpp"
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
 #include "tce/opmin/opmin.hpp"
@@ -57,6 +60,12 @@ usage:
                              phases and flows); open at
                              https://ui.perfetto.dev
                              (env: TCE_TRACE=FILE does the same)
+        --metrics FILE       write the metrics registry when the command
+                             finishes: Prometheus text exposition, or
+                             the "tce-metrics/1" JSON snapshot when
+                             FILE ends in .json (docs/FORMATS.md).
+                             (env: TCE_METRICS=FILE does the same for
+                             every subcommand)
         --verify             round-trip each plan through the JSON codec
                              and re-check every invariant with the
                              independent verifier; fails (exit 1) with
@@ -140,6 +149,17 @@ exit codes:
     6  fuzzing found an oracle disagreement
     7  internal error
     8  lint found error-severity diagnostics (tcemin lint)
+
+environment:
+    TCE_TRACE=FILE      capture a trace-event timeline for any subcommand
+    TCE_METRICS=FILE    capture the metrics registry for any subcommand
+    TCE_LOG=FILE        append structured tce-log/1 event lines;
+                        TCE_LOG_LEVEL=debug|info|warn|error filters
+                        the file (default info)
+
+Every run buffers its structured events in an in-memory flight
+recorder; on any nonzero exit the buffered tail is dumped to stderr
+after the error message (docs/OBSERVABILITY.md).
 
 Program files use the DSL:
     index a, b = 480
@@ -288,6 +308,32 @@ class TraceGuard {
   bool started_;
 };
 
+/// `--metrics FILE`: enables the metrics registry for the command's
+/// scope and writes the exposition file when the command finishes
+/// (including on error, so infeasible runs still leave their numbers).
+/// Format follows the extension — see obs::write_metrics_file.
+class MetricsGuard {
+ public:
+  explicit MetricsGuard(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    obs::metrics_reset();
+    obs::metrics_enable(true);
+  }
+  ~MetricsGuard() {
+    if (path_.empty()) return;
+    std::string err;
+    if (!obs::write_metrics_file(path_, &err)) {
+      obs::log_event(obs::LogLevel::kError, "cli", "metrics.write_failed",
+                     json::ObjectWriter().field("error", err).str());
+    }
+  }
+  MetricsGuard(const MetricsGuard&) = delete;
+  MetricsGuard& operator=(const MetricsGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
 /// `--verify`: exports \p plan to JSON, reads it back, and re-derives
 /// every invariant.  The round trip is deliberate — it checks the codec
 /// is lossless for every verifier-checked field, not just the in-memory
@@ -390,7 +436,6 @@ std::string lint_report_json(const lint::LintReport& report) {
 }
 
 std::string cmd_lint(Args args) {
-  const std::string path = args.take_positional("program file");
   const auto procs =
       static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
   const auto per_node =
@@ -402,6 +447,10 @@ std::string cmd_lint(Args args) {
   const bool replication = args.take_flag("--replication");
   const bool json_out = args.take_flag("--json");
   CharacterizedModel model = load_or_measure(args, procs, per_node);
+  // Positionals are taken only after every option is consumed, so an
+  // option value ("--metrics out.prom file.tce") is never mistaken for
+  // the program file.
+  const std::string path = args.take_positional("program file");
   args.expect_empty();
 
   const ParsedProgram program = parse_program(read_file(path));
@@ -420,7 +469,6 @@ std::string cmd_lint(Args args) {
 }
 
 std::string cmd_plan(Args args) {
-  const std::string path = args.take_positional("program file");
   const auto procs =
       static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
   const auto per_node =
@@ -438,11 +486,13 @@ std::string cmd_plan(Args args) {
   const bool opmin = args.take_flag("--opmin");
   const bool stats = args.take_flag("--stats");
   const TraceGuard trace(args.take_option("--trace", ""));
-  if (stats) {
+  const MetricsGuard metrics(args.take_option("--metrics", ""));
+  if (stats && !obs::metrics_enabled()) {
     obs::metrics_reset();
     obs::metrics_enable(true);
   }
   CharacterizedModel model = load_or_measure(args, procs, per_node);
+  const std::string path = args.take_positional("program file");
   args.expect_empty();
 
   const std::string text = read_file(path);
@@ -470,7 +520,9 @@ std::string cmd_plan(Args args) {
   }
   if (forest.trees.size() == 1) {
     const ContractionTree& tree = forest.trees[0];
+    const Stopwatch plan_sw;
     OptimizedPlan plan = optimize(tree, model, cfg);
+    obs::observe("plan.latency_s", plan_sw.elapsed_s());
     if (verify) {
       verify_or_throw(tree, model, plan, cfg.mem_limit_node_bytes);
     }
@@ -487,7 +539,9 @@ std::string cmd_plan(Args args) {
     return out;
   }
 
+  const Stopwatch plan_sw;
   ForestPlan fp = optimize_forest(forest, model, cfg);
+  obs::observe("plan.latency_s", plan_sw.elapsed_s());
   if (verify) {
     // Forest planning splits the node limit across trees, so each tree
     // is checked against the invariants alone (limit rechecked jointly
@@ -557,7 +611,6 @@ std::string cmd_opmin(Args args) {
 }
 
 std::string cmd_validate(Args args) {
-  const std::string path = args.take_positional("program file");
   const auto procs =
       static_cast<std::uint32_t>(args.take_uint("--procs", "16"));
   const auto per_node =
@@ -569,6 +622,7 @@ std::string cmd_validate(Args args) {
   const bool liveness = args.take_flag("--liveness");
   const bool opmin = args.take_flag("--opmin");
   const TraceGuard trace(args.take_option("--trace", ""));
+  const std::string path = args.take_positional("program file");
   args.expect_empty();
 
   const ProcGrid grid = ProcGrid::make(procs, per_node);
@@ -647,6 +701,26 @@ std::string cmd_fuzz(Args args) {
   return report.str();
 }
 
+/// The one shutdown path every CLI exit routes through: logs the
+/// terminal event (so the flight recorder is never empty), appends the
+/// recorded tail to the stderr text on any nonzero exit, and disarms
+/// the recorder.  Early returns and every catch arm in run_cli reach
+/// the caller only through here.
+CliResult finish_cli(CliResult result) {
+  const bool failed = result.exit_code != kExitOk;
+  obs::log_event(
+      failed ? obs::LogLevel::kError : obs::LogLevel::kInfo, "cli", "exit",
+      json::ObjectWriter().field("code", result.exit_code).str());
+  if (failed) {
+    const std::string tail = obs::flight_recorder_dump();
+    if (!tail.empty()) {
+      result.error += "flight recorder (tce-log/1, oldest first):\n" + tail;
+    }
+  }
+  obs::flight_recorder_enable(false);
+  return result;
+}
+
 }  // namespace
 
 std::uint64_t parse_byte_size(const std::string& text) {
@@ -681,11 +755,13 @@ std::uint64_t parse_byte_size(const std::string& text) {
 }
 
 CliResult run_cli(const std::vector<std::string>& args) {
+  obs::flight_recorder_clear();
+  obs::flight_recorder_enable(true);
   CliResult result;
   try {
     if (args.empty() || args[0] == "help" || args[0] == "--help") {
       result.output = kUsage;
-      return result;
+      return finish_cli(std::move(result));
     }
     const std::string cmd = args[0];
     Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
@@ -734,7 +810,7 @@ CliResult run_cli(const std::vector<std::string>& args) {
     result.exit_code = kExitInternal;
     result.error = std::string("internal error: ") + e.what() + "\n";
   }
-  return result;
+  return finish_cli(std::move(result));
 }
 
 }  // namespace tce

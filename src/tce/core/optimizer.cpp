@@ -14,6 +14,7 @@
 #include "tce/costmodel/rotate_cost.hpp"
 #include "tce/fusion/fused.hpp"
 #include "tce/lint/lint.hpp"
+#include "tce/obs/log.hpp"
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
 #include "tce/verify/verifier.hpp"
@@ -386,6 +387,8 @@ class Search {
       obs::count("opt.kept", acc.kept);
       obs::count("opt.redistributions", acc.redistributions);
       obs::observe("opt.frontier", static_cast<double>(acc.kept));
+      obs::observe("opt.node_candidates",
+                   static_cast<double>(acc.candidates));
       obs::observe("opt.node_wall_s", acc.wall_s);
     }
     if (obs::trace_enabled()) {
@@ -1268,6 +1271,17 @@ std::uint64_t prove_or_throw(const ContractionTree& tree,
   if (pr.certificate) {
     obs::count("optimizer.prover_infeasible");
     obs::trace_instant("prover_infeasible", "optimizer");
+    if (obs::log_enabled(obs::LogLevel::kError)) {
+      obs::log_event(obs::LogLevel::kError, "optimizer",
+                     "prover.infeasible",
+                     json::ObjectWriter()
+                         .field("node", pr.certificate->node)
+                         .field("lower_bound_node_bytes",
+                                pr.certificate->lower_bound_node_bytes)
+                         .field("mem_limit_node_bytes",
+                                pr.certificate->mem_limit_node_bytes)
+                         .str());
+    }
     throw InfeasibleError("statically infeasible: " + pr.certificate->str());
   }
   return pr.root_lower_bound_node_bytes;

@@ -5,11 +5,15 @@
 #include <utility>
 
 #include "tce/common/assert.hpp"
+#include "tce/common/json.hpp"
+#include "tce/common/timer.hpp"
 
 #include "tce/costmodel/characterization.hpp"
 #include "tce/costmodel/characterize.hpp"
 #include "tce/fuzz/oracles.hpp"
 #include "tce/fuzz/shrink.hpp"
+#include "tce/obs/log.hpp"
+#include "tce/obs/metrics.hpp"
 #include "tce/simnet/network.hpp"
 #include "tce/simnet/spec.hpp"
 
@@ -63,14 +67,22 @@ Built build(const FuzzInstance& inst, TableCache& tables) {
 
 /// Runs one oracle, converting unexpected exceptions into failures —
 /// a crash on generated input is a finding, not a harness error.
+/// Wall time per oracle call lands in a per-oracle histogram
+/// ("fuzz.oracle.<name>.wall_s") so slow oracles show up in p99.
 OracleOutcome run_guarded(const std::string& name, const Built& b,
                           const FuzzInstance& inst) {
+  const Stopwatch sw;
+  OracleOutcome out;
   try {
-    return run_oracle(name, b.input(inst));
+    out = run_oracle(name, b.input(inst));
   } catch (const std::exception& e) {
-    return {OracleStatus::kFail,
-            std::string("unexpected exception: ") + e.what()};
+    out = {OracleStatus::kFail,
+           std::string("unexpected exception: ") + e.what()};
   }
+  if (obs::metrics_enabled()) {
+    obs::observe("fuzz.oracle." + name + ".wall_s", sw.elapsed_s());
+  }
+  return out;
 }
 
 }  // namespace
@@ -154,6 +166,10 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
            std::string("instance generation failed: ") + e.what(),
            inst_opt ? inst_opt->describe() : std::string("(not generated)"),
            inst_opt ? inst_opt->program() : std::string()});
+      if (obs::log_enabled(obs::LogLevel::kError)) {
+        obs::log_event(obs::LogLevel::kError, "fuzz", "generate.failed",
+                       json::ObjectWriter().field("seed", seed).str());
+      }
       continue;
     }
     const FuzzInstance& inst = *inst_opt;
@@ -184,6 +200,13 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       }
       report.failures.push_back({seed, name, detail, culprit.describe(),
                                  culprit.program()});
+      if (obs::log_enabled(obs::LogLevel::kError)) {
+        obs::log_event(obs::LogLevel::kError, "fuzz", "oracle.disagreement",
+                       json::ObjectWriter()
+                           .field("seed", seed)
+                           .field("oracle", name)
+                           .str());
+      }
     }
   }
   return report;

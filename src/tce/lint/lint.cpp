@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "tce/common/checked.hpp"
+#include "tce/common/json.hpp"
 #include "tce/dist/distribution.hpp"
 #include "tce/expr/forest.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/obs/log.hpp"
 
 namespace tce::lint {
 
@@ -452,6 +454,17 @@ LintReport lint_program(const ParsedProgram& program, const ProcGrid& grid,
                  " bytes/node exceeds the limit " +
                  std::to_string(pr.certificate->mem_limit_node_bytes) +
                  " (binding node '" + pr.certificate->node + "')");
+        if (obs::log_enabled(obs::LogLevel::kError)) {
+          obs::log_event(
+              obs::LogLevel::kError, "lint", "mem.infeasible",
+              json::ObjectWriter()
+                  .field("node", pr.certificate->node)
+                  .field("lower_bound_node_bytes",
+                         pr.certificate->lower_bound_node_bytes)
+                  .field("mem_limit_node_bytes",
+                         pr.certificate->mem_limit_node_bytes)
+                  .str());
+        }
         if (!rep.certificate) rep.certificate = pr.certificate;
       }
     }

@@ -1,0 +1,111 @@
+#include "tce/obs/exporters.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "tce/common/json.hpp"
+#include "tce/obs/metrics.hpp"
+
+namespace tce::obs {
+
+namespace {
+
+/// Prometheus metric name: `tce_` prefix, every character outside
+/// [a-zA-Z0-9_] replaced by '_'.
+std::string sanitize(std::string_view name) {
+  std::string out = "tce_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void render_histogram(std::string& out, const std::string& pname,
+                      const Metric& m) {
+  std::uint64_t cum = 0;
+  for (int i = 0; i < Metric::kBuckets; ++i) {
+    const std::uint64_t c = m.buckets[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    cum += c;
+    out += pname + "_bucket{le=\"" + json::number(Metric::bucket_upper(i)) +
+           "\"} " + std::to_string(cum) + "\n";
+  }
+  out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(m.count) + "\n";
+  out += pname + "_sum " + json::number(m.sum) + "\n";
+  out += pname + "_count " + std::to_string(m.count) + "\n";
+}
+
+/// Captures the registry for the whole process when TCE_METRICS names
+/// a file: enables recording at startup, writes the file at exit.  The
+/// constructor takes a snapshot first so the registry's function-local
+/// static is constructed before (and therefore destroyed after) this
+/// object.
+struct EnvMetrics {
+  std::string path;
+  EnvMetrics() {
+    const char* p = std::getenv("TCE_METRICS");
+    if (p == nullptr || p[0] == '\0') return;
+    metrics_snapshot();
+    metrics_enable(true);
+    path = p;
+  }
+  ~EnvMetrics() {
+    if (!path.empty()) write_metrics_file(path);
+  }
+};
+const EnvMetrics g_env_metrics;
+
+}  // namespace
+
+std::string metrics_prometheus() {
+  std::string out;
+  for (const auto& [name, m] : metrics_snapshot()) {
+    const bool counter = m.kind == Metric::Kind::kCounter;
+    const std::string pname =
+        sanitize(name) + (counter ? "_total" : "");
+    out += "# HELP " + pname + " " + name + "\n";
+    switch (m.kind) {
+      case Metric::Kind::kCounter:
+        out += "# TYPE " + pname + " counter\n";
+        out += pname + " " + std::to_string(m.total) + "\n";
+        break;
+      case Metric::Kind::kGauge:
+        out += "# TYPE " + pname + " gauge\n";
+        out += pname + " " + json::number(m.last) + "\n";
+        break;
+      case Metric::Kind::kHistogram:
+        out += "# TYPE " + pname + " histogram\n";
+        render_histogram(out, pname, m);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string metrics_snapshot_json() {
+  return json::ObjectWriter()
+      .field("schema", "tce-metrics/1")
+      .raw("metrics", metrics_json())
+      .str();
+}
+
+bool write_metrics_file(const std::string& path, std::string* error) {
+  const bool as_json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out << (as_json ? metrics_snapshot_json() : metrics_prometheus());
+  if (as_json) out << "\n";
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tce::obs

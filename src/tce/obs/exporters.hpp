@@ -1,0 +1,40 @@
+#pragma once
+/// \file exporters.hpp
+/// Renders the metrics registry for machines: Prometheus/OpenMetrics
+/// text exposition and the `tce-metrics/1` JSON snapshot schema
+/// (docs/FORMATS.md).  Both read metrics_snapshot(), so they inherit
+/// its guarantees (sorted names, exact histogram merge).
+///
+/// Surfaces: `tcemin plan --metrics <file>`, `--metrics <file>` on the
+/// bench drivers, and `TCE_METRICS=<path>` in the environment — the
+/// env path enables the registry at startup for any binary linking
+/// tce_obs and writes the file at exit.  The file format follows the
+/// extension: a path ending in `.json` gets the tce-metrics/1
+/// snapshot, anything else the Prometheus text form.
+
+#include <string>
+
+namespace tce::obs {
+
+/// Prometheus text exposition of every recorded metric.  Names are
+/// sanitized (`opt.search_wall_s` → `tce_opt_search_wall_s`, counters
+/// get a `_total` suffix) and each `# HELP` line carries the original
+/// dotted registry name.  Histograms render cumulatively: one
+/// `_bucket{le="..."}` line per non-empty log2 bucket (upper bound,
+/// exact powers of two), a `+Inf` bucket, `_sum` and `_count`.
+std::string metrics_prometheus();
+
+/// The tce-metrics/1 JSON document:
+///   {"schema":"tce-metrics/1","metrics":{...}}
+/// where "metrics" is exactly metrics_json() — counters as integers,
+/// gauges as numbers, histograms as objects with quantiles and the
+/// sparse bucket list.
+std::string metrics_snapshot_json();
+
+/// Writes the registry to \p path — tce-metrics/1 when the path ends
+/// in ".json", Prometheus text otherwise.  Returns false (and sets
+/// \p error when non-null) if the file cannot be written.
+bool write_metrics_file(const std::string& path,
+                        std::string* error = nullptr);
+
+}  // namespace tce::obs

@@ -1,0 +1,175 @@
+#include "tce/obs/log.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "tce/common/annotations.hpp"
+#include "tce/common/json.hpp"
+
+namespace tce::obs {
+
+namespace {
+
+/// Gate value meaning "no sink wants anything" — above every LogLevel.
+constexpr int kGateOff = 100;
+
+/// The lowest level any sink records, or kGateOff.  log_enabled() is
+/// one relaxed load of this; it is recomputed under the logger mutex
+/// whenever a sink opens, closes, or the recorder toggles.
+std::atomic<int> g_gate{kGateOff};
+
+struct Logger {
+  Mutex mu;
+  std::ofstream sink TCE_GUARDED_BY(mu);
+  bool sink_open TCE_GUARDED_BY(mu) = false;
+  LogLevel sink_level TCE_GUARDED_BY(mu) = LogLevel::kInfo;
+  bool recorder_on TCE_GUARDED_BY(mu) = false;
+  std::array<std::string, kFlightRecorderCapacity> ring TCE_GUARDED_BY(mu);
+  std::size_t ring_size TCE_GUARDED_BY(mu) = 0;
+  std::size_t ring_next TCE_GUARDED_BY(mu) = 0;
+
+  void recompute_gate() TCE_REQUIRES(mu) {
+    int gate = kGateOff;
+    if (sink_open) gate = static_cast<int>(sink_level);
+    if (recorder_on) gate = static_cast<int>(LogLevel::kDebug);
+    g_gate.store(gate, std::memory_order_relaxed);
+  }
+};
+
+Logger& logger() {
+  static Logger l;
+  return l;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Opens the file sink at startup when TCE_LOG names a path
+/// (TCE_LOG_LEVEL filters it) and closes it at exit — zero-code-change
+/// capture for any binary linking tce_obs.  The constructor touches
+/// logger() first so the function-local static outlives this object.
+struct EnvLog {
+  EnvLog() {
+    logger();
+    const char* path = std::getenv("TCE_LOG");
+    if (path == nullptr || path[0] == '\0') return;
+    const char* level = std::getenv("TCE_LOG_LEVEL");
+    log_open(path, parse_log_level(level == nullptr ? "" : level,
+                                   LogLevel::kInfo));
+  }
+  ~EnvLog() { log_close(); }
+};
+const EnvLog g_env_log;
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name,
+                         LogLevel fallback) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return fallback;
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         g_gate.load(std::memory_order_relaxed);
+}
+
+void log_event(LogLevel level, std::string_view component,
+               std::string_view event, const std::string& fields_json) {
+  if (!log_enabled(level)) return;
+  json::ObjectWriter line;
+  line.field("schema", "tce-log/1")
+      .field("ts_us", now_us())
+      .field("level", log_level_name(level))
+      .field("component", std::string(component))
+      .field("event", std::string(event));
+  if (!fields_json.empty()) line.raw("fields", fields_json);
+  std::string rendered = line.str();
+
+  Logger& l = logger();
+  const MutexLock lock(l.mu);
+  if (l.recorder_on) {
+    l.ring[l.ring_next] = rendered;
+    l.ring_next = (l.ring_next + 1) % kFlightRecorderCapacity;
+    if (l.ring_size < kFlightRecorderCapacity) ++l.ring_size;
+  }
+  if (l.sink_open && level >= l.sink_level) {
+    l.sink << rendered << "\n";
+    l.sink.flush();
+  }
+}
+
+void log_open(const std::string& path, LogLevel min_level) {
+  Logger& l = logger();
+  const MutexLock lock(l.mu);
+  if (l.sink_open) l.sink.close();
+  l.sink.clear();
+  l.sink.open(path, std::ios::app);
+  l.sink_open = l.sink.is_open();
+  l.sink_level = min_level;
+  l.recompute_gate();
+}
+
+void log_close() {
+  Logger& l = logger();
+  const MutexLock lock(l.mu);
+  if (l.sink_open) l.sink.close();
+  l.sink_open = false;
+  l.recompute_gate();
+}
+
+void flight_recorder_enable(bool on) noexcept {
+  Logger& l = logger();
+  const MutexLock lock(l.mu);
+  l.recorder_on = on;
+  l.recompute_gate();
+}
+
+void flight_recorder_clear() noexcept {
+  Logger& l = logger();
+  const MutexLock lock(l.mu);
+  for (std::string& line : l.ring) line.clear();
+  l.ring_size = 0;
+  l.ring_next = 0;
+}
+
+std::string flight_recorder_dump() {
+  Logger& l = logger();
+  const MutexLock lock(l.mu);
+  std::string out;
+  const std::size_t first =
+      (l.ring_next + kFlightRecorderCapacity - l.ring_size) %
+      kFlightRecorderCapacity;
+  for (std::size_t i = 0; i < l.ring_size; ++i) {
+    out += l.ring[(first + i) % kFlightRecorderCapacity];
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tce::obs

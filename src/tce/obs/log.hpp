@@ -1,0 +1,80 @@
+#pragma once
+/// \file log.hpp
+/// Leveled structured event log (JSON lines, `tce-log/1` schema) plus
+/// an in-memory flight recorder.  Like the rest of tce::obs it is off
+/// by default: `log_event` checks one relaxed atomic gate and returns
+/// before building a string, taking a lock, or touching the heap.
+///
+/// Each event is one line:
+///   {"schema":"tce-log/1","ts_us":...,"level":"error",
+///    "component":"lint","event":"mem.infeasible","fields":{...}}
+/// `ts_us` is wall-clock microseconds since the Unix epoch; `fields`
+/// is an optional JSON object of typed values built by the caller
+/// (json::ObjectWriter) and is omitted when empty.  Component/event
+/// names follow the dotted hierarchy in docs/OBSERVABILITY.md.
+///
+/// Two sinks share the gate:
+///  - a file sink, opened with log_open() or `TCE_LOG=<path>` in the
+///    environment (`TCE_LOG_LEVEL=debug|info|warn|error` filters it,
+///    default info) — any binary linking tce_obs then records from
+///    startup and closes the file at exit;
+///  - the flight recorder, a fixed ring of the last
+///    kFlightRecorderCapacity events at every level.  The CLI enables
+///    it for each run and dumps it to stderr on any nonzero exit, so
+///    infeasible/verify/fuzz/internal failures carry their event tail
+///    (see run_cli in cli.cpp).
+///
+/// Thread safety: all entry points may be called from any thread; one
+/// mutex guards both sinks (event volume is low — failures and
+/// lifecycle, not per-node hot loops).  The disabled path is lock-free.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace tce::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// "debug", "info", "warn" or "error".
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Parses a level name (as accepted in TCE_LOG_LEVEL); \p fallback when
+/// the name is unknown or empty.
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept;
+
+/// True when an event at \p level would be recorded by at least one
+/// sink.  Call sites that build dynamic fields should check this first
+/// so the disabled path allocates nothing.
+bool log_enabled(LogLevel level) noexcept;
+
+/// Records one event.  \p fields_json, when non-empty, must be a JSON
+/// object (use json::ObjectWriter).
+void log_event(LogLevel level, std::string_view component,
+               std::string_view event,
+               const std::string& fields_json = std::string());
+
+/// Opens the file sink: events at \p min_level and above are appended
+/// to \p path as tce-log/1 lines, flushed per line.  Replaces any sink
+/// already open.
+void log_open(const std::string& path, LogLevel min_level = LogLevel::kInfo);
+
+/// Flushes and closes the file sink (no-op when none is open).
+void log_close();
+
+/// Flight-recorder depth: the dump holds at most this many events, the
+/// most recent ones, oldest first.
+inline constexpr std::size_t kFlightRecorderCapacity = 64;
+
+/// Turns the flight recorder on or off.  While on, every event (any
+/// level) also lands in the ring.  Turning it off keeps the buffer.
+void flight_recorder_enable(bool on) noexcept;
+
+/// Empties the ring (enabled state is unchanged).
+void flight_recorder_clear() noexcept;
+
+/// The buffered events, oldest first, one tce-log/1 line each
+/// (newline-terminated).  Empty string when nothing was recorded.
+std::string flight_recorder_dump();
+
+}  // namespace tce::obs

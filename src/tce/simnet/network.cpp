@@ -104,6 +104,20 @@ Network::RunResult Network::run_flows(const std::vector<Flow>& flows) const {
     }
   }
 
+  // Per-link busy time: a resource is busy for a round's dt when at
+  // least one active flow crosses it that round (stamps keep a shared
+  // link from being counted once per flow).  Summed over rounds this is
+  // the fluid-model utilization each link sees; observed as one
+  // histogram sample per busy link below.
+  const bool metrics = obs::metrics_enabled();
+  std::vector<double> busy;
+  std::vector<std::size_t> busy_stamp;
+  std::size_t round = 0;
+  if (metrics) {
+    busy.assign(capacities.size(), 0.0);
+    busy_stamp.assign(capacities.size(), 0);
+  }
+
   double now = 0.0;
   bool first_round = true;
   while (!active.empty()) {
@@ -125,6 +139,17 @@ Network::RunResult Network::run_flows(const std::vector<Flow>& flows) const {
     }
     TCE_ENSURES(dt > 0 && dt < std::numeric_limits<double>::infinity());
     now += dt;
+    if (metrics) {
+      ++round;
+      for (const auto& a : active) {
+        for (std::uint32_t r : a.path) {
+          if (busy_stamp[r] != round) {
+            busy_stamp[r] = round;
+            busy[r] += dt;
+          }
+        }
+      }
+    }
 
     std::vector<Active> still;
     still.reserve(active.size());
@@ -144,11 +169,14 @@ Network::RunResult Network::run_flows(const std::vector<Flow>& flows) const {
     result.makespan_s = std::max(result.makespan_s, f);
   }
 
-  if (obs::metrics_enabled()) {
+  if (metrics) {
     std::uint64_t bytes = 0;
     for (const Flow& f : flows) bytes += f.bytes;
     obs::count("simnet.flows", flows.size());
     obs::count("simnet.bytes", bytes);
+    for (const double b : busy) {
+      if (b > 0) obs::observe("simnet.link_busy_s", b);
+    }
   }
   if (tracing && !flows.empty()) {
     const double base = obs::sim_now_s();

@@ -7,8 +7,10 @@
 #include <set>
 
 #include "tce/common/error.hpp"
+#include "tce/common/json.hpp"
 #include "tce/common/strings.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/obs/log.hpp"
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
 
@@ -835,7 +837,15 @@ VerifyReport verify_plan(const ContractionTree& tree,
   const obs::TraceSpan span("verify", "verify");
   obs::count("verify.runs");
   PlanVerifier verifier(tree, model, plan, opts);
-  return verifier.run();
+  VerifyReport report = verifier.run();
+  if (!report.ok() && obs::log_enabled(obs::LogLevel::kError)) {
+    obs::log_event(obs::LogLevel::kError, "verify", "plan.failed",
+                   json::ObjectWriter()
+                       .field("diagnostics", report.diagnostics.size())
+                       .field("rules_checked", report.rules_checked)
+                       .str());
+  }
+  return report;
 }
 
 bool verify_plans_enabled() {

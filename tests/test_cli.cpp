@@ -360,5 +360,89 @@ TEST(Cli, FuzzLintOracleIsSelectable) {
   EXPECT_NE(r.output.find("lint:"), std::string::npos);
 }
 
+// ----------------------------------------- metrics + flight recorder
+
+TEST(Cli, PlanMetricsWritesPrometheusExposition) {
+  TempFile f("cli_metrics.tce", kSmallProgram);
+  const std::string metrics =
+      std::string(::testing::TempDir()) + "cli_metrics_out.prom";
+  // Flag before the program file, as the docs show — option values must
+  // not be mistaken for the positional.
+  CliResult r = run_cli(
+      {"plan", "--metrics", metrics, f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  std::ifstream in(metrics);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  std::remove(metrics.c_str());
+  EXPECT_NE(doc.find("# TYPE tce_plan_latency_s histogram"),
+            std::string::npos);
+  EXPECT_NE(doc.find("# HELP tce_plan_latency_s plan.latency_s"),
+            std::string::npos);
+  EXPECT_NE(doc.find("tce_plan_latency_s_bucket{le="), std::string::npos);
+  EXPECT_NE(doc.find("tce_plan_latency_s_count 1"), std::string::npos);
+  EXPECT_NE(doc.find("tce_opt_candidates_total"), std::string::npos);
+}
+
+TEST(Cli, PlanMetricsJsonExtensionWritesSnapshotSchema) {
+  TempFile f("cli_metrics_json.tce", kSmallProgram);
+  const std::string metrics =
+      std::string(::testing::TempDir()) + "cli_metrics_out.json";
+  CliResult r = run_cli(
+      {"plan", f.path(), "--procs", "4", "--metrics", metrics});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  std::ifstream in(metrics);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  std::remove(metrics.c_str());
+  EXPECT_NE(doc.find("\"schema\":\"tce-metrics/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"plan.latency_s\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+}
+
+TEST(Cli, NonzeroExitDumpsFlightRecorderTail) {
+  // A lint-certified infeasible instance (exit 8): the stderr text must
+  // carry the tce-log/1 tail including the certificate event.
+  TempFile f("cli_fr_lint.tce", R"(
+    index a, b, k = 8192
+    S[a,b] = sum[k] A[a,k] * B[k,b]
+  )");
+  CliResult r = run_cli({"lint", f.path(), "--mem-limit", "100MB"});
+  EXPECT_EQ(r.exit_code, kExitLint);
+  EXPECT_NE(r.error.find("flight recorder"), std::string::npos);
+  EXPECT_NE(r.error.find("\"schema\":\"tce-log/1\""), std::string::npos);
+  EXPECT_NE(r.error.find("\"event\":\"mem.infeasible\""),
+            std::string::npos);
+  EXPECT_NE(r.error.find("\"event\":\"exit\""), std::string::npos);
+}
+
+TEST(Cli, InfeasiblePlanDumpsProverEvent) {
+  TempFile f("cli_fr_plan.tce", kSmallProgram);
+  CliResult r = run_cli(
+      {"plan", f.path(), "--procs", "4", "--mem-limit", "1KB"});
+  EXPECT_EQ(r.exit_code, kExitInfeasible);
+  EXPECT_NE(r.error.find("flight recorder"), std::string::npos);
+  EXPECT_NE(r.error.find("\"component\":\"optimizer\""),
+            std::string::npos);
+  EXPECT_NE(r.error.find("\"event\":\"prover.infeasible\""),
+            std::string::npos);
+}
+
+TEST(Cli, SuccessfulRunDumpsNothing) {
+  TempFile f("cli_fr_ok.tce", kSmallProgram);
+  CliResult r = run_cli({"plan", f.path(), "--procs", "4"});
+  ASSERT_EQ(r.exit_code, 0) << r.error;
+  EXPECT_EQ(r.error.find("flight recorder"), std::string::npos);
+}
+
+TEST(Cli, UsageErrorsAlsoCarryTheTail) {
+  CliResult r = run_cli({"frobnicate"});
+  EXPECT_EQ(r.exit_code, kExitUsage);
+  EXPECT_NE(r.error.find("\"event\":\"exit\""), std::string::npos);
+  EXPECT_NE(r.error.find("\"code\":1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tce

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Validate metrics/observability output files.
+
+Usage: validate_metrics.py FILE [FILE...]
+
+Each file's format is detected from its content:
+
+* a JSON document with schema "tce-metrics/1" -> metrics snapshot
+* a JSON document with schema "tce-bench/1"   -> bench doc (its embedded
+  "metrics" object is validated the same way as a snapshot's)
+* one JSON object per line, schema "tce-log/1" -> structured event log
+* anything else -> Prometheus text exposition
+
+Checks (docs/FORMATS.md, docs/OBSERVABILITY.md):
+
+* Prometheus: every sample is preceded by # HELP and # TYPE lines for
+  its family; counters end in _total; histogram bucket series are
+  cumulative and monotone, the +Inf bucket equals _count, and _sum and
+  _count are present.
+* tce-metrics/1: counters/gauges are numbers; histogram objects carry
+  count/sum/min/max/p50/p90/p99 and a sparse bucket list whose counts
+  sum exactly to `count` (the registry's exact-merge guarantee), with
+  min <= p50 <= p90 <= p99 <= max... within bucket rounding -- the
+  quantiles are clamped into [min, max], so that range is exact.
+* tce-log/1: every line parses, has the schema marker, a known level,
+  a positive integer ts_us, and non-empty component/event.
+
+Exit 0 when every file validates; 1 with a message on the first
+failure.  Used by CI's bench-json job; handy locally after
+`tcemin plan --metrics out.prom ...`.
+"""
+
+import json
+import math
+import re
+import sys
+
+LEVELS = ("debug", "info", "warn", "error")
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def check_histogram(path, name, h):
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99",
+                "buckets"):
+        if key not in h:
+            fail(path, f"histogram {name!r} missing {key!r}: {h}")
+    count = h["count"]
+    if not (isinstance(count, int) and count > 0):
+        fail(path, f"histogram {name!r} has bad count {count!r}")
+    bucket_total = 0
+    last_index = -1
+    for entry in h["buckets"]:
+        if not (isinstance(entry, list) and len(entry) == 2):
+            fail(path, f"histogram {name!r} bad bucket entry {entry!r}")
+        index, n = entry
+        if not (isinstance(index, int) and 0 <= index <= 63):
+            fail(path, f"histogram {name!r} bucket index {index!r}")
+        if index <= last_index:
+            fail(path, f"histogram {name!r} buckets not sorted")
+        last_index = index
+        if not (isinstance(n, int) and n > 0):
+            fail(path, f"histogram {name!r} bucket count {n!r}")
+        bucket_total += n
+    if bucket_total != count:
+        fail(path, f"histogram {name!r}: count {count} != "
+                   f"sum of bucket counts {bucket_total}")
+    if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]
+            or math.isclose(h["min"], h["max"])):
+        fail(path, f"histogram {name!r} quantiles out of order: {h}")
+
+
+def check_metrics_object(path, metrics):
+    if not isinstance(metrics, dict) or not metrics:
+        fail(path, "empty metrics object")
+    histograms = 0
+    for name, value in metrics.items():
+        if isinstance(value, dict):
+            check_histogram(path, name, value)
+            histograms += 1
+        elif not isinstance(value, (int, float)):
+            fail(path, f"metric {name!r} has non-numeric value {value!r}")
+    return histograms
+
+
+def check_metrics_json(path, doc):
+    histograms = check_metrics_object(path, doc["metrics"])
+    print(f"{path}: tce-metrics/1 ok ({len(doc['metrics'])} metrics, "
+          f"{histograms} histograms)")
+
+
+def check_bench_json(path, doc):
+    if not (isinstance(doc.get("rows"), list) and doc["rows"]):
+        fail(path, "bench document has no rows")
+    histograms = check_metrics_object(path, doc["metrics"])
+    print(f"{path}: tce-bench/1 metrics ok ({len(doc['rows'])} rows, "
+          f"{len(doc['metrics'])} metrics, {histograms} histograms)")
+
+
+def check_log_lines(path, lines):
+    n = 0
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError as e:
+            fail(path, f"line {i}: not JSON ({e})")
+        if event.get("schema") != "tce-log/1":
+            fail(path, f"line {i}: schema {event.get('schema')!r}")
+        if event.get("level") not in LEVELS:
+            fail(path, f"line {i}: level {event.get('level')!r}")
+        ts = event.get("ts_us")
+        if not (isinstance(ts, int) and ts > 0):
+            fail(path, f"line {i}: ts_us {ts!r}")
+        for key in ("component", "event"):
+            if not (isinstance(event.get(key), str) and event[key]):
+                fail(path, f"line {i}: bad {key} {event.get(key)!r}")
+        n += 1
+    if n == 0:
+        fail(path, "no log events")
+    print(f"{path}: tce-log/1 ok ({n} events)")
+
+
+SAMPLE_RE = re.compile(
+    r'^(?P<family>[A-Za-z_:][A-Za-z0-9_:]*?)'
+    r'(?P<suffix>_total|_bucket|_sum|_count)?'
+    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$')
+
+
+def check_prometheus(path, text):
+    helped, typed = {}, {}
+    buckets = {}     # family -> list of (le, cumulative count)
+    sums, counts = {}, {}
+    samples = 0
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            helped[name] = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(path, f"line {i}: unparseable sample {line!r}")
+        family = m.group("family")
+        suffix = m.group("suffix") or ""
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(path, f"line {i}: bad value in {line!r}")
+        samples += 1
+        if suffix == "_bucket":
+            labels = m.group("labels") or ""
+            lm = re.match(r'^le="([^"]+)"$', labels)
+            if not lm:
+                fail(path, f"line {i}: bucket without le label: {line!r}")
+            le = math.inf if lm.group(1) == "+Inf" else float(lm.group(1))
+            buckets.setdefault(family, []).append((le, value))
+            family_name = family + "_bucket"
+        elif suffix == "_sum":
+            sums[family] = value
+            family_name = family
+        elif suffix == "_count":
+            counts[family] = value
+            family_name = family
+        elif suffix == "_total":
+            family_name = family + "_total"
+            if typed.get(family_name) != "counter":
+                fail(path, f"line {i}: {family_name} not TYPEd counter")
+        else:
+            family_name = family
+        # Histogram children are announced under the bare family name.
+        base = family if suffix in ("_bucket", "_sum", "_count") \
+            else family_name
+        if base not in helped or base not in typed:
+            fail(path, f"line {i}: {base} lacks # HELP/# TYPE")
+    for family, series in buckets.items():
+        if typed.get(family) != "histogram":
+            fail(path, f"{family} has buckets but TYPE "
+                       f"{typed.get(family)!r}")
+        les = [le for le, _ in series]
+        vals = [v for _, v in series]
+        if les != sorted(les) or les[-1] != math.inf:
+            fail(path, f"{family} bucket bounds not ascending to +Inf")
+        if vals != sorted(vals):
+            fail(path, f"{family} bucket counts not cumulative")
+        if family not in sums or family not in counts:
+            fail(path, f"{family} missing _sum or _count")
+        if vals[-1] != counts[family]:
+            fail(path, f"{family}: +Inf bucket {vals[-1]} != "
+                       f"_count {counts[family]}")
+    if samples == 0:
+        fail(path, "no samples")
+    print(f"{path}: prometheus ok ({samples} samples, "
+          f"{len(buckets)} histograms)")
+
+
+def validate(path):
+    with open(path) as f:
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict):
+        schema = doc.get("schema")
+        if schema == "tce-metrics/1":
+            return check_metrics_json(path, doc)
+        if schema == "tce-bench/1":
+            return check_bench_json(path, doc)
+        if schema == "tce-log/1":  # a one-event log file
+            return check_log_lines(path, text.splitlines())
+        fail(path, f"unrecognized JSON schema {schema!r}")
+    first = text.lstrip().split("\n", 1)[0] if text.strip() else ""
+    if first.startswith("{") and '"tce-log/1"' in first:
+        return check_log_lines(path, text.splitlines())
+    return check_prometheus(path, text)
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__.strip().split("\n")[2])
+    for path in argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
