@@ -5,6 +5,7 @@
 // format, demonstrating the "generate once, reuse by interpolation"
 // workflow the paper describes.
 
+#include <cmath>
 #include <sstream>
 
 #include "tce/common/table.hpp"
@@ -49,6 +50,24 @@ void show(std::uint32_t procs, tce::bench::BenchOutput& out) {
               .field("samples", bytes.size())
               .field("rotate_55mb_s", model.rotate_cost(55'296'000, 1))
               .field("rotate_118mb_s", model.rotate_cost(117'964'800, 1)));
+
+  // The v3 compute curve: per-rank GEMM seconds vs flops, derated from
+  // the peak rate by the tiled kernel's structural efficiency model
+  // (deterministic — no wall clock; docs/KERNELS.md).
+  heading("compute curve (flops → seconds, structural efficiency)");
+  TextTable ct({"n (square GEMM)", "flops", "efficiency", "seconds",
+                "effective GF/s"});
+  for (std::size_t c = 0; c < 5; ++c) ct.set_right_aligned(c);
+  const auto& cf = t.compute.sample_bytes();
+  for (std::size_t i = 0; i < cf.size(); i += 2) {
+    const double s = t.compute.sample_seconds()[i];
+    const double fl = static_cast<double>(cf[i]);
+    const auto n = static_cast<std::uint64_t>(std::cbrt(fl / 2.0) + 0.5);
+    ct.add_row({std::to_string(n), std::to_string(cf[i]),
+                fixed(fl / (s * t.flops_per_proc), 4), fixed(s, 4),
+                fixed(fl / s / 1e9, 4)});
+  }
+  std::printf("%s", ct.str().c_str());
 }
 
 }  // namespace

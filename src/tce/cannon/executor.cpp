@@ -5,13 +5,34 @@
 #include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
+#include "tce/obs/log.hpp"
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
+#include "tce/tensor/kernel.hpp"
 #include "tce/tensor/matmul.hpp"
 
 namespace tce {
 
 namespace {
+
+/// Logs the failure (with the active local-kernel configuration, so a
+/// flight-recorder dump answers "which GEMM path and tiles were live
+/// when the executor died?") and throws.
+[[noreturn]] void fail_executor(const std::string& what) {
+  if (obs::log_enabled(obs::LogLevel::kError)) {
+    const KernelConfig cfg = kernel_config();
+    obs::log_event(obs::LogLevel::kError, "cannon", "executor.fail",
+                   json::ObjectWriter()
+                       .field("error", what)
+                       .field("kernel", kernel_kind_name(cfg.kind))
+                       .field("kernel_isa", gemm_microkernel_isa())
+                       .field("tile_mc", cfg.tiles.mc)
+                       .field("tile_kc", cfg.tiles.kc)
+                       .field("tile_nc", cfg.tiles.nc)
+                       .str());
+  }
+  throw Error(what);
+}
 
 /// Per-dimension block coordinate assignment: index -> block coordinate,
 /// where the index's extent is split `edge` ways.
@@ -37,9 +58,10 @@ BlockRange range_for(const TensorRef& ref, const IndexSpace& space,
       r.hi.push_back(n);
     } else {
       if (n % edge != 0) {
-        throw Error("run_cannon: extent of index '" + space.name(d) +
-                    "' (" + std::to_string(n) +
-                    ") must divide the grid edge " + std::to_string(edge));
+        fail_executor("run_cannon: extent of index '" + space.name(d) +
+                      "' (" + std::to_string(n) +
+                      ") must divide the grid edge " +
+                      std::to_string(edge));
       }
       const std::uint64_t chunk = n / edge;
       r.lo.push_back(split->block * chunk);
@@ -89,11 +111,12 @@ CannonRunResult run_cannon(const Network& net, const ProcGrid& grid,
                            const DenseTensor& right_full) {
   if (node.kind != ContractionNode::Kind::kContraction ||
       !node.batch_indices.empty()) {
-    throw Error("run_cannon: node is not a Cannon-representable contraction");
+    fail_executor(
+        "run_cannon: node is not a Cannon-representable contraction");
   }
   if (choice.i == kNoIndex || choice.j == kNoIndex ||
       choice.k == kNoIndex) {
-    throw Error(
+    fail_executor(
         "run_cannon: the numeric executor requires a full (i,j,k) triplet");
   }
   TCE_EXPECTS(net.spec().procs() == grid.procs);
@@ -278,7 +301,7 @@ CannonRunResult run_replicated(const Network& net, const ProcGrid& grid,
                                const DenseTensor& right_full) {
   if (node.kind != ContractionNode::Kind::kContraction ||
       !node.batch_indices.empty()) {
-    throw Error(
+    fail_executor(
         "run_replicated: node is not a Cannon-representable contraction");
   }
   TCE_EXPECTS(net.spec().procs() == grid.procs);
@@ -452,7 +475,8 @@ TreeRunResult run_tree(const Network& net, const ProcGrid& grid,
       case ContractionNode::Kind::kInput: {
         auto it = inputs.find(n.tensor.name);
         if (it == inputs.end()) {
-          throw Error("run_tree: missing input '" + n.tensor.name + "'");
+          fail_executor("run_tree: missing input '" + n.tensor.name +
+                        "'");
         }
         values.emplace(id, it->second);
         break;
@@ -473,8 +497,8 @@ TreeRunResult run_tree(const Network& net, const ProcGrid& grid,
             }
           }
           if (!found) {
-            throw Error("run_tree: node '" + n.tensor.name +
-                        "' admits no fully-assigned Cannon triplet");
+            fail_executor("run_tree: node '" + n.tensor.name +
+                          "' admits no fully-assigned Cannon triplet");
           }
         }
         CannonRunResult r =

@@ -23,6 +23,7 @@
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
 #include "tce/opmin/opmin.hpp"
+#include "tce/tensor/kernel.hpp"
 #include "tce/verify/verifier.hpp"
 
 namespace tce {
@@ -71,6 +72,10 @@ usage:
                              independent verifier; fails (exit 1) with
                              one "error node=... rule=...: ..." line per
                              violation (see docs/VERIFIER.md)
+        --kernel NAME        local GEMM kernel for any numeric execution:
+                             auto (default; per-block size cutoff), ref,
+                             or tiled (docs/KERNELS.md).  Plans are
+                             identical under every setting.
         --opmin              binarize multi-factor statements first
 
   tcemin lint <program-file> [options]
@@ -112,7 +117,8 @@ usage:
       communication cost against a brute-force flow simulation of the
       plan on the simulated cluster.  Accepts the same options as plan
       (except --machine: validation needs the simulator itself);
-      --trace FILE records the simulated flows as a timeline.
+      --trace FILE records the simulated flows as a timeline, and
+      --kernel NAME selects the local GEMM kernel as in plan.
 
   tcemin characterize [options]
       Measure a simulated cluster and print a characterization file.
@@ -156,6 +162,14 @@ environment:
     TCE_LOG=FILE        append structured tce-log/1 event lines;
                         TCE_LOG_LEVEL=debug|info|warn|error filters
                         the file (default info)
+    TCE_KERNEL=NAME     local GEMM kernel (auto | ref | tiled), as
+                        --kernel but for every subcommand
+    TCE_TILE_MC=N       cache-blocking overrides for both kernels
+    TCE_TILE_KC=N       (positive integers in [8, 1048576]); defaults
+    TCE_TILE_NC=N       128/256/3072 (docs/KERNELS.md)
+    TCE_KERNEL_THREADS=N  worker threads for the tiled GEMM's MC loop
+                        (0 = hardware); results are bitwise identical
+                        at every setting
 
 Every run buffers its structured events in an in-memory flight
 recorder; on any nonzero exit the buffered tail is dumped to stderr
@@ -173,6 +187,18 @@ std::string read_file(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Applies --kernel NAME (auto | ref | tiled) to the process-wide
+/// local-GEMM configuration.  Planning itself never reads it — plans
+/// are identical under every setting — but the flag pins the kernel for
+/// any numeric execution the command performs and is echoed into
+/// metrics/logs.  Malformed names throw KernelUsageError (exit 1).
+void apply_kernel_flag(const std::string& name) {
+  if (name.empty()) return;
+  KernelConfig cfg = kernel_config();
+  cfg.kind = parse_kernel_kind(name);
+  set_kernel_config(cfg);
 }
 
 /// Minimal flag cursor over argv-style arguments.
@@ -485,6 +511,7 @@ std::string cmd_plan(Args args) {
   const bool verify = args.take_flag("--verify");
   const bool opmin = args.take_flag("--opmin");
   const bool stats = args.take_flag("--stats");
+  apply_kernel_flag(args.take_option("--kernel", ""));
   const TraceGuard trace(args.take_option("--trace", ""));
   const MetricsGuard metrics(args.take_option("--metrics", ""));
   if (stats && !obs::metrics_enabled()) {
@@ -534,7 +561,7 @@ std::string cmd_plan(Args args) {
       out += "metrics:\n" + obs::metrics_table();
     }
     if (pseudocode) {
-      out += "\n" + generate_pseudocode(tree, plan);
+      out += "\n" + generate_pseudocode(tree, plan, model.grid().edge);
     }
     return out;
   }
@@ -566,7 +593,8 @@ std::string cmd_plan(Args args) {
     out += "output " + tree.node(tree.root()).tensor.name + ":\n";
     out += fp.plans[t].table(tree.space()) + "\n";
     if (pseudocode) {
-      out += generate_pseudocode(tree, fp.plans[t]) + "\n";
+      out += generate_pseudocode(tree, fp.plans[t], model.grid().edge) +
+             "\n";
     }
   }
   out += "total communication: " + fixed(fp.total_comm_s, 1) + " s\n";
@@ -621,6 +649,7 @@ std::string cmd_validate(Args args) {
   const bool replication = args.take_flag("--replication");
   const bool liveness = args.take_flag("--liveness");
   const bool opmin = args.take_flag("--opmin");
+  apply_kernel_flag(args.take_option("--kernel", ""));
   const TraceGuard trace(args.take_option("--trace", ""));
   const std::string path = args.take_positional("program file");
   args.expect_empty();
@@ -764,6 +793,10 @@ CliResult run_cli(const std::vector<std::string>& args) {
       return finish_cli(std::move(result));
     }
     const std::string cmd = args[0];
+    // Validate TCE_KERNEL / TCE_TILE_* / TCE_KERNEL_THREADS up front so
+    // a malformed environment fails loudly on every subcommand, not
+    // only on the ones that happen to execute a kernel.
+    kernel_config();
     Args rest(std::vector<std::string>(args.begin() + 1, args.end()));
     if (cmd == "plan") {
       result.output = cmd_plan(std::move(rest));
@@ -784,6 +817,11 @@ CliResult run_cli(const std::vector<std::string>& args) {
     result.exit_code = kExitInfeasible;
     result.error = std::string("infeasible: ") + e.what() + "\n";
   } catch (const UsageError& e) {
+    result.exit_code = kExitUsage;
+    result.error = std::string("error: ") + e.what() + "\n";
+  } catch (const KernelUsageError& e) {
+    // Malformed --kernel / TCE_KERNEL / TCE_TILE_* settings are usage
+    // errors, even though the tensor layer cannot name UsageError.
     result.exit_code = kExitUsage;
     result.error = std::string("error: ") + e.what() + "\n";
   } catch (const IoError& e) {

@@ -2,9 +2,11 @@
 
 #include <map>
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/units.hpp"
 #include "tce/fusion/fused.hpp"
+#include "tce/tensor/kernel.hpp"
 
 namespace tce {
 
@@ -12,8 +14,10 @@ namespace {
 
 class Renderer {
  public:
-  Renderer(const ContractionTree& tree, const OptimizedPlan& plan)
-      : tree_(tree), plan_(plan), space_(tree.space()) {
+  Renderer(const ContractionTree& tree, const OptimizedPlan& plan,
+           std::uint32_t grid_edge)
+      : tree_(tree), plan_(plan), space_(tree.space()),
+        edge_(grid_edge) {
     for (const PlanStep& s : plan.steps) steps_[s.node] = &s;
     for (const ArrayReport& a : plan.arrays) {
       // Rows are unique by name except duplicated-input leaves, for
@@ -27,6 +31,12 @@ class Renderer {
             " processors/node; logical grid view of §3.1\n";
     out_ += "# arrays are blocks on each processor; <x,y> = grid "
             "distribution, '·' = replicated\n";
+    if (edge_ != 0) {
+      out_ += "# local multiplies dispatch per block size: kern=tiled "
+              "above " +
+              std::to_string(kAutoCutoffElems) +
+              " loop elements per rank, kern=ref below\n";
+    }
     declare_arrays();
     out_ += "\n";
     render_cluster(tree_.root(), 0);
@@ -134,6 +144,33 @@ class Renderer {
     return s;
   }
 
+  /// Kernel-dispatch annotation for step \p s: mirrors the runtime
+  /// auto-selection (select_kernel with the default cutoff) on the
+  /// per-rank local block shapes.  A loop label's local extent is its
+  /// global extent divided by the grid edge when some side of the step
+  /// distributes it; fused labels are pinned (extent 1) and skipped.
+  std::string kernel_note(const ContractionNode& n,
+                          const PlanStep& s) const {
+    if (edge_ == 0) return "";
+    std::uint64_t local = 1;
+    auto fold = [&](IndexId l, bool split) {
+      std::uint64_t e = space_.extent(l);
+      if (split) e = std::max<std::uint64_t>(e / edge_, 1);
+      local = saturating_mul(local, e);
+    };
+    for (IndexId l : n.tensor.dims) {
+      if (s.effective_fused.contains(l)) continue;
+      fold(l, s.result_dist.contains(l));
+    }
+    for (IndexId l : n.sum_indices) {
+      if (s.effective_fused.contains(l)) continue;
+      fold(l, s.left_dist.contains(l) || s.right_dist.contains(l));
+    }
+    const KernelKind k = select_kernel(KernelKind::kAuto, local);
+    return std::string(", kern=") +
+           (k == KernelKind::kTiled ? "tiled" : "ref");
+  }
+
   void emit_contraction(NodeId id, int indent) {
     const ContractionNode& n = tree_.node(id);
     if (n.kind == ContractionNode::Kind::kReduce) {
@@ -164,7 +201,7 @@ class Renderer {
                        operand_name(n.left, s.effective_fused) + " * " +
                        operand_name(n.right, s.effective_fused) +
                        "   # " + note + " → " +
-                       s.result_dist.str(space_));
+                       s.result_dist.str(space_) + kernel_note(n, s));
       return;
     }
     std::string rotated;
@@ -184,12 +221,13 @@ class Renderer {
                      ", rotate {" + rotated + "}, dists " +
                      s.left_dist.str(space_) + "·" +
                      s.right_dist.str(space_) + "→" +
-                     s.result_dist.str(space_));
+                     s.result_dist.str(space_) + kernel_note(n, s));
   }
 
   const ContractionTree& tree_;
   const OptimizedPlan& plan_;
   const IndexSpace& space_;
+  std::uint32_t edge_;  ///< Grid edge for kernel notes; 0 = omit them.
   std::map<NodeId, const PlanStep*> steps_;
   std::map<std::string, const ArrayReport*> arrays_;
   std::string out_;
@@ -199,7 +237,13 @@ class Renderer {
 
 std::string generate_pseudocode(const ContractionTree& tree,
                                 const OptimizedPlan& plan) {
-  return Renderer(tree, plan).render();
+  return Renderer(tree, plan, 0).render();
+}
+
+std::string generate_pseudocode(const ContractionTree& tree,
+                                const OptimizedPlan& plan,
+                                std::uint32_t grid_edge) {
+  return Renderer(tree, plan, grid_edge).render();
 }
 
 }  // namespace tce

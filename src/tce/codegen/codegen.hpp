@@ -24,4 +24,14 @@ namespace tce {
 std::string generate_pseudocode(const ContractionTree& tree,
                                 const OptimizedPlan& plan);
 
+/// Same, annotating every contraction line with the local GEMM kernel
+/// (`kern=tiled` / `kern=ref`) that auto-dispatch selects for its
+/// per-rank blocks on a √P×√P grid of edge \p grid_edge.  The decision
+/// is *structural* — recomputed from block shapes and the fixed size
+/// cutoff, never from TCE_KERNEL or tile overrides — so the rendered
+/// text is identical across kernel environment settings.
+std::string generate_pseudocode(const ContractionTree& tree,
+                                const OptimizedPlan& plan,
+                                std::uint32_t grid_edge);
+
 }  // namespace tce

@@ -25,11 +25,17 @@ void CostCurve::add_sample(std::uint64_t bytes, double seconds) {
 double CostCurve::eval(std::uint64_t bytes) const {
   TCE_EXPECTS_MSG(!bytes_.empty(), "empty cost curve");
   ++g_curve_counters.lookups;
-  if (bytes_.size() == 1) return seconds_[0];
-  if (bytes == 0) return seconds_[0];
-  if (bytes < bytes_.front() || bytes > bytes_.back()) {
+  if (bytes_.size() > 1 && bytes != 0 &&
+      (bytes < bytes_.front() || bytes > bytes_.back())) {
     ++g_curve_counters.extrapolations;
   }
+  return eval_quiet(bytes);
+}
+
+double CostCurve::eval_quiet(std::uint64_t bytes) const {
+  TCE_EXPECTS_MSG(!bytes_.empty(), "empty cost curve");
+  if (bytes_.size() == 1) return seconds_[0];
+  if (bytes == 0) return seconds_[0];
 
   const double x = std::log(static_cast<double>(bytes));
   auto lx = [&](std::size_t i) {
@@ -80,7 +86,7 @@ CostCurve load_curve(std::istream& is, const std::string& want) {
 }  // namespace
 
 void CharacterizationTable::save(std::ostream& os) const {
-  os << "tce-characterization 2\n";
+  os << "tce-characterization 3\n";
   os << "grid " << grid.procs << " " << grid.procs_per_node << "\n";
   os << "flops_per_proc " << flops_per_proc << "\n";
   save_curve(os, "rotate_dim1", rotate_dim1);
@@ -89,6 +95,7 @@ void CharacterizationTable::save(std::ostream& os) const {
   save_curve(os, "allgather", allgather);
   save_curve(os, "reduce_dim1", reduce_dim1);
   save_curve(os, "reduce_dim2", reduce_dim2);
+  save_curve(os, "compute", compute);  // sample key is flops, not bytes
 }
 
 std::string CharacterizationTable::save_string() const {
@@ -102,8 +109,8 @@ CharacterizationTable CharacterizationTable::load(std::istream& is) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "tce-characterization" ||
-      (version != 1 && version != 2)) {
-    throw Error("not a tce characterization file (v1/v2)");
+      version < 1 || version > 3) {
+    throw Error("not a tce characterization file (v1/v2/v3)");
   }
 
   CharacterizationTable t;
@@ -124,6 +131,9 @@ CharacterizationTable CharacterizationTable::load(std::istream& is) {
     t.allgather = load_curve(is, "allgather");
     t.reduce_dim1 = load_curve(is, "reduce_dim1");
     t.reduce_dim2 = load_curve(is, "reduce_dim2");
+  }
+  if (version >= 3) {
+    t.compute = load_curve(is, "compute");
   }
   return t;
 }
@@ -173,7 +183,14 @@ double CharacterizedModel::reduce_scatter_cost(std::uint64_t partial_bytes,
 }
 
 double CharacterizedModel::compute_time(std::uint64_t flops) const {
-  return static_cast<double>(flops) / table_.flops_per_proc;
+  if (flops == 0) return 0.0;
+  // v1/v2 characterizations lack the compute curve: flat peak rate.
+  if (table_.compute.empty()) {
+    return static_cast<double>(flops) / table_.flops_per_proc;
+  }
+  // Quiet eval: the extrapolation counters drive the *communication*
+  // model's telemetry and tolerance decisions; see eval_quiet.
+  return table_.compute.eval_quiet(flops);
 }
 
 }  // namespace tce

@@ -49,6 +49,13 @@ class CostCurve {
   /// sample's value (pure start-up).
   double eval(std::uint64_t bytes) const;
 
+  /// Same evaluation, but without touching the thread's CurveCounters.
+  /// Compute-time queries use this: the lookup/extrapolation totals feed
+  /// the optimizer's *communication*-model telemetry (and its
+  /// extrapolation-based tolerance loosening), which a compute-curve
+  /// query must not perturb.
+  double eval_quiet(std::uint64_t bytes) const;
+
   /// Samples, for serialization and tests.
   const std::vector<std::uint64_t>& sample_bytes() const { return bytes_; }
   const std::vector<double>& sample_seconds() const { return seconds_; }
@@ -70,6 +77,12 @@ struct CharacterizationTable {
   /// bytes.
   CostCurve reduce_dim1;
   CostCurve reduce_dim2;
+  /// Local-contraction curve (v3), keyed by *flops* rather than bytes:
+  /// measured/modeled seconds for one rank to execute a GEMM of that
+  /// many flops.  Captures the size-dependent efficiency of the tiled
+  /// kernel (small products never reach peak).  When absent (v1/v2
+  /// files), compute_time falls back to the flat flops_per_proc rate.
+  CostCurve compute;
   double flops_per_proc = 1e9;
 
   /// Serializes to the characterization-file text format.

@@ -2,6 +2,7 @@
 
 #include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
+#include "tce/tensor/kernel.hpp"
 
 namespace tce {
 
@@ -121,6 +122,22 @@ double measure_reduce_scatter(const Network& net, const ProcGrid& grid,
   return net.run_phases(phases).comm_s;
 }
 
+/// Local-compute curve: seconds for a square n×n×n GEMM as a function
+/// of flops, derated from the peak rate by the tiled kernel's
+/// *structural* efficiency model (pack traffic + microtile padding —
+/// deterministic, never wall-clock, so characterizations are
+/// reproducible across hosts).  The ladder spans 2·8³ ≈ 1e3 up to
+/// 2·16384³ ≈ 8.8e12 flops, which covers the per-processor work of the
+/// paper-scale problems without extrapolating.
+void fill_compute_curve(CostCurve& curve, double flops_per_proc) {
+  for (std::uint64_t n = 8; n <= 16384; n *= 2) {
+    const std::uint64_t flops = checked_mul(checked_mul(2 * n, n), n);
+    const double eff = gemm_model_efficiency(n, n, n);
+    curve.add_sample(flops,
+                     static_cast<double>(flops) / (flops_per_proc * eff));
+  }
+}
+
 }  // namespace
 
 CharacterizationTable characterize(const Network& net, const ProcGrid& grid,
@@ -142,6 +159,7 @@ CharacterizationTable characterize(const Network& net, const ProcGrid& grid,
     t.reduce_dim1.add_sample(s, measure_reduce_scatter(net, grid, 1, s));
     t.reduce_dim2.add_sample(s, measure_reduce_scatter(net, grid, 2, s));
   }
+  fill_compute_curve(t.compute, t.flops_per_proc);
   return t;
 }
 

@@ -14,6 +14,7 @@
 #include "tce/fuzz/brute.hpp"
 #include "tce/lint/lint.hpp"
 #include "tce/tensor/einsum.hpp"
+#include "tce/tensor/kernel.hpp"
 #include "tce/verify/verifier.hpp"
 
 namespace tce::fuzz {
@@ -245,17 +246,30 @@ OracleOutcome oracle_exec(const OracleInput& in) {
 
   Rng rng(in.inst->seed ^ 0xE45C0DEDULL);
   const auto inputs = make_random_inputs(*in.tree, rng);
-  const DenseTensor want = evaluate_tree(*in.tree, inputs);
-  const TreeRunResult got =
-      run_tree(*in.net, grid, *in.tree, choices, inputs);
+  // The ground truth is the reference loop nest, pinned explicitly so
+  // the oracle never compares the tiled kernel against itself; the
+  // executor then runs under *both* kernels, which differentially
+  // exercises the TTGT lowering and the tiled GEMM on every fuzzed
+  // shape.
+  DenseTensor want = [&] {
+    ScopedKernelConfig force_ref(KernelKind::kReference);
+    return evaluate_tree(*in.tree, inputs);
+  }();
 
   double scale = 1.0;
   for (double v : want.data()) scale = std::max(scale, std::abs(v));
-  const double diff = got.result.max_abs_diff(want);
-  if (diff > 1e-9 * scale) {
-    return fail("distributed execution differs from the reference "
-                "einsum: max |Δ| = " +
-                std::to_string(diff));
+  for (const KernelKind kind :
+       {KernelKind::kReference, KernelKind::kTiled}) {
+    ScopedKernelConfig force(kind);
+    const TreeRunResult got =
+        run_tree(*in.net, grid, *in.tree, choices, inputs);
+    const double diff = got.result.max_abs_diff(want);
+    if (diff > 1e-9 * scale) {
+      return fail(std::string("distributed execution (kernel=") +
+                  kernel_kind_name(kind) +
+                  ") differs from the reference einsum: max |Δ| = " +
+                  std::to_string(diff));
+    }
   }
   return pass();
 }

@@ -1,6 +1,9 @@
 #include "tce/tensor/einsum.hpp"
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
+#include "tce/tensor/kernel.hpp"
+#include "tce/tensor/ttgt.hpp"
 
 namespace tce {
 
@@ -65,6 +68,20 @@ DenseTensor einsum_pair(const DenseTensor& a, const DenseTensor& b,
                 {extents.begin(),
                  extents.begin() + static_cast<std::ptrdiff_t>(
                                        result_dims.size())});
+
+  // Kernel dispatch: large contractions lower to TTGT + tiled GEMM;
+  // the reference loop nest below remains the ground truth (and the
+  // only path when the operands carry dims outside the loop labels,
+  // which the reference semantics pin to index 0).
+  {
+    std::uint64_t total = 1;
+    for (std::uint64_t e : extents) total = checked_mul(total, e);
+    if (select_kernel(kernel_config().kind, total) == KernelKind::kTiled &&
+        classify_ttgt(a, b, result_dims, sum_indices).covered) {
+      ttgt_contract_acc(a, b, sum_indices, c);
+      return c;
+    }
+  }
 
   const auto sa = loop_strides(a, loops);
   const auto sb = loop_strides(b, loops);

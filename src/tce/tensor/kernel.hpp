@@ -1,0 +1,145 @@
+#pragma once
+/// \file kernel.hpp
+/// Local GEMM kernels and the process-wide kernel-selection layer.
+///
+/// Two kernels implement C (m×n) += A (m×k) · B (k×n) over row-major
+/// dense buffers:
+///
+///  * `gemm_ref`   — the historical cache-blocked i-k-j loop nest.  Its
+///    blocking constants are the same TileConfig the tiled kernel uses
+///    (satellite of the old hardcoded `kBlock = 64`).
+///  * `gemm_tiled` — a BLIS-style packing GEMM: A is packed into
+///    MC×KC panels of MR-row micro-panels, B into KC×NC panels of
+///    NR-column micro-panels, and an 8×6 register-blocked FMA
+///    microkernel (AVX2+FMA when the CPU has it, a portable unrolled
+///    fallback otherwise) walks the panels.  The MC loop runs on the
+///    shared thread pool; every thread writes a disjoint row-block of C
+///    and the KC accumulation order is fixed, so results are bitwise
+///    identical at every thread count.
+///
+/// Which kernel runs is decided at *execution* time by the process-wide
+/// KernelConfig (`TCE_KERNEL` / `--kernel`, auto by default with a size
+/// cutoff).  Planning never consults it: plans are byte-identical under
+/// every kernel setting — only execution timings and floating-point
+/// rounding differ (docs/KERNELS.md).
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "tce/common/error.hpp"
+
+namespace tce {
+
+/// Thrown on malformed TCE_KERNEL / TCE_TILE_* / --kernel settings; the
+/// CLI maps it to the usage exit code (1) like its own UsageError.
+class KernelUsageError : public Error {
+ public:
+  explicit KernelUsageError(const std::string& what) : Error(what) {}
+};
+
+/// Kernel selection: kAuto picks per block by size cutoff.
+enum class KernelKind { kAuto, kReference, kTiled };
+
+/// Register microkernel footprint: an MR×NR tile of C held in
+/// accumulators (8×6 doubles = 12 AVX2 registers, leaving 4 for A/B).
+inline constexpr std::size_t kMicroM = 8;
+inline constexpr std::size_t kMicroN = 6;
+
+/// Cache-blocking parameters shared by both kernels.  Defaults target a
+/// ~32 KB L1 / ~1 MB L2 / shared L3 machine: an MC×KC packed A panel is
+/// MC·KC·8 = 256 KB (L2-resident), a KC×NC packed B panel 6 MB
+/// (L3-resident), and each microkernel step streams KC·(MR+NR)·8 =
+/// 28 KB through L1.  Overridable via TCE_TILE_MC/KC/NC.
+struct TileConfig {
+  std::size_t mc = 128;
+  std::size_t kc = 256;
+  std::size_t nc = 3072;
+};
+
+/// Auto-dispatch cutoff: blocks with fewer than this many multiply
+/// sites (m·n·k) stay on the reference kernel — pack/unpack overhead
+/// dominates tiny blocks.  32³ elements ≈ 64 KB of operands.
+inline constexpr std::uint64_t kAutoCutoffElems = 32768;
+
+/// The process-wide kernel configuration (see kernel_config()).
+struct KernelConfig {
+  KernelKind kind = KernelKind::kAuto;
+  TileConfig tiles;
+  /// Worker threads for the tiled GEMM's MC loop; 0 = hardware
+  /// concurrency.  The result is bitwise identical at every setting.
+  unsigned threads = 0;
+};
+
+/// "auto" | "ref" | "tiled".
+const char* kernel_kind_name(KernelKind kind) noexcept;
+
+/// Parses a kernel name ("auto", "ref"/"reference", "tiled"); throws
+/// KernelUsageError on anything else.
+KernelKind parse_kernel_kind(const std::string& name);
+
+/// The current process-wide configuration.  First use parses the
+/// environment: TCE_KERNEL (kernel name), TCE_TILE_MC/KC/NC (positive
+/// integers in [8, 2^20]) and TCE_KERNEL_THREADS — throwing
+/// KernelUsageError on malformed or out-of-range values.
+const KernelConfig& kernel_config();
+
+/// Replaces the process-wide configuration (CLI --kernel, tests).
+void set_kernel_config(const KernelConfig& cfg);
+
+/// Discards any cached/overridden configuration and re-reads the
+/// environment on next use (tests that mutate TCE_* variables).
+void reset_kernel_config_from_env();
+
+/// RAII kernel-config override; restores the previous config on exit.
+class ScopedKernelConfig {
+ public:
+  explicit ScopedKernelConfig(const KernelConfig& cfg)
+      : saved_(kernel_config()) {
+    set_kernel_config(cfg);
+  }
+  explicit ScopedKernelConfig(KernelKind kind) : saved_(kernel_config()) {
+    KernelConfig cfg = saved_;
+    cfg.kind = kind;
+    set_kernel_config(cfg);
+  }
+  ~ScopedKernelConfig() { set_kernel_config(saved_); }
+  ScopedKernelConfig(const ScopedKernelConfig&) = delete;
+  ScopedKernelConfig& operator=(const ScopedKernelConfig&) = delete;
+
+ private:
+  KernelConfig saved_;
+};
+
+/// Resolves kAuto for a block with \p mnk = m·n·k multiply sites; never
+/// returns kAuto.
+KernelKind select_kernel(KernelKind kind, std::uint64_t mnk) noexcept;
+
+/// Reference kernel: cache-blocked i-k-j loops with TileConfig blocks.
+void gemm_ref(std::span<const double> a, std::span<const double> b,
+              std::span<double> c, std::size_t m, std::size_t k,
+              std::size_t n, const TileConfig& tiles);
+
+/// Tiled kernel: packing GEMM with the MR×NR microkernel; MC row-blocks
+/// run on the shared thread pool (\p threads, 0 = hardware).  Bitwise
+/// deterministic across thread counts.
+void gemm_tiled(std::span<const double> a, std::span<const double> b,
+                std::span<double> c, std::size_t m, std::size_t k,
+                std::size_t n, const TileConfig& tiles,
+                unsigned threads = 0);
+
+/// The SIMD variant the microkernel dispatch picked at startup
+/// ("avx2" or "generic") — for bench/diagnostic output.
+const char* gemm_microkernel_isa() noexcept;
+
+/// Deterministic structural efficiency model of gemm_tiled at the
+/// *default* TileConfig, in (0, 1]: useful flops divided by useful
+/// flops plus modeled overhead (partial-tile padding, A/B pack and C
+/// update traffic, per-call setup).  This is what the characterization
+/// compute curve is generated from — a structural model, not a
+/// wall-clock measurement, so plans stay reproducible across machines
+/// (docs/KERNELS.md).
+double gemm_model_efficiency(std::uint64_t m, std::uint64_t n,
+                             std::uint64_t k) noexcept;
+
+}  // namespace tce

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
+#include "tce/tensor/kernel.hpp"
+#include "tce/tensor/ttgt.hpp"
 
 namespace tce {
 
@@ -13,25 +16,13 @@ void matmul_acc(std::span<const double> a, std::span<const double> b,
   TCE_EXPECTS(b.size() == k * n);
   TCE_EXPECTS(c.size() == m * n);
 
-  constexpr std::size_t kBlock = 64;
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i1 = std::min(i0 + kBlock, m);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
-      const std::size_t k1 = std::min(k0 + kBlock, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
-        const std::size_t j1 = std::min(j0 + kBlock, n);
-        for (std::size_t i = i0; i < i1; ++i) {
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const double av = a[i * k + kk];
-            const double* brow = &b[kk * n];
-            double* crow = &c[i * n];
-            for (std::size_t j = j0; j < j1; ++j) {
-              crow[j] += av * brow[j];
-            }
-          }
-        }
-      }
-    }
+  const KernelConfig& cfg = kernel_config();
+  const std::uint64_t mnk =
+      checked_mul(checked_mul(static_cast<std::uint64_t>(m), k), n);
+  if (select_kernel(cfg.kind, mnk) == KernelKind::kTiled) {
+    gemm_tiled(a, b, c, m, k, n, cfg.tiles, cfg.threads);
+  } else {
+    gemm_ref(a, b, c, m, k, n, cfg.tiles);
   }
 }
 
@@ -111,41 +102,11 @@ void unpack_matrix_acc(std::span<const double> m,
 
 void contract_blocks_acc(const DenseTensor& a, const DenseTensor& b,
                          IndexSet sum_indices, DenseTensor& c) {
-  // Split labels: I = a-only, J = b-only, K = summed (must be in both).
-  std::vector<IndexId> idims, jdims, kdims;
-  for (IndexId d : a.dims()) {
-    if (sum_indices.contains(d)) {
-      if (!b.has_dim(d)) {
-        throw Error("contract_blocks: summed label missing from b");
-      }
-      kdims.push_back(d);
-    } else {
-      idims.push_back(d);
-      if (b.has_dim(d)) {
-        throw Error(
-            "contract_blocks: batch labels are not supported by the "
-            "matmul fast path");
-      }
-    }
-  }
-  for (IndexId d : b.dims()) {
-    if (!sum_indices.contains(d)) jdims.push_back(d);
-  }
-  for (IndexId d : kdims) {
-    if (a.extent_of(d) != b.extent_of(d)) {
-      throw Error("contract_blocks: operands disagree on a summed extent");
-    }
-  }
-
-  std::vector<double> am, bm;
-  std::uint64_t m = 0, k = 0, k2 = 0, n = 0;
-  pack_matrix(a, idims, kdims, am, m, k);
-  pack_matrix(b, kdims, jdims, bm, k2, n);
-  TCE_ENSURES(k == k2);
-
-  std::vector<double> cm(m * n, 0.0);
-  matmul_acc(am, bm, cm, m, k, n);
-  unpack_matrix_acc(cm, idims, jdims, c);
+  // The TTGT lowering classifies labels into (batch, M, N, K) from the
+  // result's dims, pre-reduces one-operand summed labels, and runs the
+  // per-batch GEMMs through the dispatching matmul_acc above — the
+  // executor's local multiplies pick up the kernel-selection layer here.
+  ttgt_contract_acc(a, b, sum_indices, c);
 }
 
 }  // namespace tce

@@ -14,7 +14,8 @@
 namespace tce {
 
 /// C (m×n, row-major) += A (m×k, row-major) · B (k×n, row-major).
-/// Cache-blocked i-k-j loop order.
+/// Dispatches to the tiled packing GEMM or the reference cache-blocked
+/// loops per the process-wide kernel config (tce/tensor/kernel.hpp).
 void matmul_acc(std::span<const double> a, std::span<const double> b,
                 std::span<double> c, std::size_t m, std::size_t k,
                 std::size_t n);
@@ -35,9 +36,12 @@ void unpack_matrix_acc(std::span<const double> m,
                        const std::vector<IndexId>& col_dims,
                        DenseTensor& t);
 
-/// c += contraction of blocks a (I∪K dims) and b (K∪J dims) over the
-/// labels in \p sum_indices, via pack + matmul + unpack.  The result
-/// tensor \p c must carry exactly the non-summed labels of a and b.
+/// c += contraction of blocks a and b over the labels in
+/// \p sum_indices, via the TTGT lowering (tce/tensor/ttgt.hpp): pack →
+/// batched GEMM → unpack.  The result tensor \p c must carry exactly
+/// the non-summed labels of a and b; labels shared by all three become
+/// batch dimensions, and a summed label present in only one operand is
+/// pre-reduced before the product.
 void contract_blocks_acc(const DenseTensor& a, const DenseTensor& b,
                          IndexSet sum_indices, DenseTensor& c);
 

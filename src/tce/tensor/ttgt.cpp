@@ -1,0 +1,240 @@
+#include "tce/tensor/ttgt.hpp"
+
+#include <algorithm>
+
+#include "tce/common/checked.hpp"
+#include "tce/common/error.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/tensor/einsum.hpp"
+#include "tce/tensor/matmul.hpp"
+
+namespace tce {
+
+namespace {
+
+bool in_group(const std::vector<IndexId>& group, IndexId d) {
+  return std::find(group.begin(), group.end(), d) != group.end();
+}
+
+/// Strides of \p t for the loop order batch ++ rows ++ cols — the
+/// three-group generalization of matmul.cpp's two-group PackPlan.  The
+/// groups must cover every dimension of \p t exactly once.
+struct GroupPlan {
+  std::vector<std::uint64_t> extents;
+  std::vector<std::uint64_t> strides;
+  std::uint64_t batch = 1;
+  std::uint64_t rows = 1;
+  std::uint64_t cols = 1;
+};
+
+GroupPlan make_group_plan(const DenseTensor& t,
+                          const std::vector<IndexId>& batch_dims,
+                          const std::vector<IndexId>& row_dims,
+                          const std::vector<IndexId>& col_dims) {
+  if (batch_dims.size() + row_dims.size() + col_dims.size() != t.rank()) {
+    throw Error("ttgt: dimension groups must cover the tensor");
+  }
+  GroupPlan p;
+  auto add = [&](const std::vector<IndexId>& dims, std::uint64_t& product) {
+    for (IndexId id : dims) {
+      p.extents.push_back(t.extent_of(id));
+      p.strides.push_back(t.stride(t.pos_of(id)));
+      product = checked_mul(product, p.extents.back());
+    }
+  };
+  add(batch_dims, p.batch);
+  add(row_dims, p.rows);
+  add(col_dims, p.cols);
+  return p;
+}
+
+/// Gathers \p t into a contiguous [batch][rows][cols] buffer.  The
+/// innermost dimension runs in a tight strided loop; outer dimensions
+/// advance by odometer.
+void pack_grouped(const DenseTensor& t, const GroupPlan& p,
+                  std::vector<double>& out) {
+  out.resize(checked_mul(checked_mul(p.batch, p.rows), p.cols));
+  std::span<const double> src = t.data();
+  if (p.extents.empty()) {
+    out[0] = src[0];
+    return;
+  }
+  const std::size_t nd = p.extents.size();
+  const std::uint64_t inner_n = p.extents[nd - 1];
+  const std::uint64_t inner_s = p.strides[nd - 1];
+  MultiIndex mi(std::span<const std::uint64_t>(p.extents.data(), nd - 1));
+  std::uint64_t flat = 0;
+  do {
+    const auto idx = mi.values();
+    std::uint64_t off = 0;
+    for (std::size_t i = 0; i + 1 < nd; ++i) off += idx[i] * p.strides[i];
+    const double* s = src.data() + off;
+    double* d = out.data() + flat;
+    if (inner_s == 1) {
+      for (std::uint64_t j = 0; j < inner_n; ++j) d[j] = s[j];
+    } else {
+      for (std::uint64_t j = 0; j < inner_n; ++j) d[j] = s[j * inner_s];
+    }
+    flat += inner_n;
+  } while (mi.advance());
+}
+
+/// Scatters a packed [batch][rows][cols] buffer back into \p t,
+/// accumulating (+=).
+void unpack_grouped_acc(std::span<const double> buf, const GroupPlan& p,
+                        DenseTensor& t) {
+  TCE_EXPECTS(buf.size() == p.batch * p.rows * p.cols);
+  std::span<double> dst = t.data();
+  if (p.extents.empty()) {
+    dst[0] += buf[0];
+    return;
+  }
+  const std::size_t nd = p.extents.size();
+  const std::uint64_t inner_n = p.extents[nd - 1];
+  const std::uint64_t inner_s = p.strides[nd - 1];
+  MultiIndex mi(std::span<const std::uint64_t>(p.extents.data(), nd - 1));
+  std::uint64_t flat = 0;
+  do {
+    const auto idx = mi.values();
+    std::uint64_t off = 0;
+    for (std::size_t i = 0; i + 1 < nd; ++i) off += idx[i] * p.strides[i];
+    double* d = dst.data() + off;
+    const double* s = buf.data() + flat;
+    if (inner_s == 1) {
+      for (std::uint64_t j = 0; j < inner_n; ++j) d[j] += s[j];
+    } else {
+      for (std::uint64_t j = 0; j < inner_n; ++j) d[j * inner_s] += s[j];
+    }
+    flat += inner_n;
+  } while (mi.advance());
+}
+
+}  // namespace
+
+TtgtGroups classify_ttgt(const DenseTensor& a, const DenseTensor& b,
+                         const std::vector<IndexId>& result_dims,
+                         IndexSet sum_indices) {
+  TtgtGroups g;
+  for (IndexId d : result_dims) {
+    if (sum_indices.contains(d)) {
+      throw Error("einsum: summed label appears in result");
+    }
+    const bool in_a = a.has_dim(d);
+    const bool in_b = b.has_dim(d);
+    if (in_a && in_b) {
+      g.batch.push_back(d);
+    } else if (in_a) {
+      g.m.push_back(d);
+    } else if (in_b) {
+      g.n.push_back(d);
+    } else {
+      throw Error("einsum: loop label missing from all operands");
+    }
+  }
+  for (IndexId s : sum_indices) {
+    const bool in_a = a.has_dim(s);
+    const bool in_b = b.has_dim(s);
+    if (in_a && in_b) {
+      g.k.push_back(s);
+    } else if (in_a) {
+      g.a_only_sum.push_back(s);
+    } else if (in_b) {
+      g.b_only_sum.push_back(s);
+    } else {
+      throw Error("einsum: loop label missing from all operands");
+    }
+  }
+  for (const std::vector<IndexId>* shared : {&g.batch, &g.k}) {
+    for (IndexId d : *shared) {
+      if (a.extent_of(d) != b.extent_of(d)) {
+        throw Error("einsum: operands disagree on an extent");
+      }
+    }
+  }
+  for (IndexId d : a.dims()) {
+    if (!in_group(g.batch, d) && !in_group(g.m, d) && !in_group(g.k, d) &&
+        !in_group(g.a_only_sum, d)) {
+      g.covered = false;
+    }
+  }
+  for (IndexId d : b.dims()) {
+    if (!in_group(g.batch, d) && !in_group(g.n, d) && !in_group(g.k, d) &&
+        !in_group(g.b_only_sum, d)) {
+      g.covered = false;
+    }
+  }
+  for (IndexId d : g.batch) {
+    g.batch_elems = checked_mul(g.batch_elems, a.extent_of(d));
+  }
+  for (IndexId d : g.m) g.m_elems = checked_mul(g.m_elems, a.extent_of(d));
+  for (IndexId d : g.n) g.n_elems = checked_mul(g.n_elems, b.extent_of(d));
+  for (IndexId d : g.k) g.k_elems = checked_mul(g.k_elems, a.extent_of(d));
+  return g;
+}
+
+void ttgt_contract_acc(const DenseTensor& a, const DenseTensor& b,
+                       IndexSet sum_indices, DenseTensor& c) {
+  const TtgtGroups g = classify_ttgt(a, b, c.dims(), sum_indices);
+  TCE_EXPECTS_MSG(g.covered,
+                  "ttgt: operand dimension outside result and sum labels");
+
+  // A summed label found in only one operand contributes a plain
+  // reduction of that operand before the matrix product.
+  const DenseTensor* pa = &a;
+  const DenseTensor* pb = &b;
+  DenseTensor a_red;
+  DenseTensor b_red;
+  if (!g.a_only_sum.empty()) {
+    std::vector<IndexId> keep;
+    for (IndexId d : a.dims()) {
+      if (!in_group(g.a_only_sum, d)) keep.push_back(d);
+    }
+    a_red = einsum_reduce(a, keep);
+    pa = &a_red;
+  }
+  if (!g.b_only_sum.empty()) {
+    std::vector<IndexId> keep;
+    for (IndexId d : b.dims()) {
+      if (!in_group(g.b_only_sum, d)) keep.push_back(d);
+    }
+    b_red = einsum_reduce(b, keep);
+    pb = &b_red;
+  }
+
+  // K packing order: A's layout order, shared by both operand packs.
+  std::vector<IndexId> kdims;
+  for (IndexId d : pa->dims()) {
+    if (in_group(g.k, d)) kdims.push_back(d);
+  }
+
+  const GroupPlan ap = make_group_plan(*pa, g.batch, g.m, kdims);
+  const GroupPlan bp = make_group_plan(*pb, g.batch, kdims, g.n);
+  const GroupPlan cp = make_group_plan(c, g.batch, g.m, g.n);
+
+  std::vector<double> am;
+  std::vector<double> bm;
+  pack_grouped(*pa, ap, am);
+  pack_grouped(*pb, bp, bm);
+  std::vector<double> cm(
+      checked_mul(checked_mul(g.batch_elems, g.m_elems), g.n_elems), 0.0);
+
+  const std::size_t a_slice = g.m_elems * g.k_elems;
+  const std::size_t b_slice = g.k_elems * g.n_elems;
+  const std::size_t c_slice = g.m_elems * g.n_elems;
+  for (std::uint64_t bi = 0; bi < g.batch_elems; ++bi) {
+    matmul_acc(std::span<const double>(am).subspan(bi * a_slice, a_slice),
+               std::span<const double>(bm).subspan(bi * b_slice, b_slice),
+               std::span<double>(cm).subspan(bi * c_slice, c_slice),
+               g.m_elems, g.k_elems, g.n_elems);
+  }
+  unpack_grouped_acc(cm, cp, c);
+
+  if (obs::metrics_enabled()) {
+    // Pack traffic of the lowering itself: both operand gathers plus
+    // the zero-init and scatter of the result buffer.
+    obs::count("kernel.pack_bytes",
+               (am.size() + bm.size() + 2 * cm.size()) * sizeof(double));
+  }
+}
+
+}  // namespace tce

@@ -176,7 +176,7 @@ TEST(Cli, OpminNothingToDo) {
 TEST(Cli, CharacterizeEmitsLoadableFile) {
   CliResult r = run_cli({"characterize", "--procs", "16"});
   ASSERT_EQ(r.exit_code, 0) << r.error;
-  EXPECT_NE(r.output.find("tce-characterization 2"), std::string::npos);
+  EXPECT_NE(r.output.find("tce-characterization 3"), std::string::npos);
 
   // Feed the characterization back into plan via --machine.
   TempFile machine("cli_machine.txt", r.output);

@@ -205,10 +205,23 @@ TEST(Matmul, AccumulatesIntoExistingResult) {
   }
 }
 
-TEST(Matmul, RejectsBatchLabels) {
-  DenseTensor a({0, 1}, {2, 2}), b({0, 1}, {2, 2});
+TEST(Matmul, BatchLabelsContractPerSlice) {
+  // Label 0 appears in a, b, and c: a TTGT batch dimension.  Each batch
+  // slice is an independent dot product over label 1.
+  Rng rng(13);
+  DenseTensor a({0, 1}, {2, 3}), b({0, 1}, {2, 3});
+  a.fill_random(rng);
+  b.fill_random(rng);
   DenseTensor c({0}, {2});
-  EXPECT_THROW(contract_blocks_acc(a, b, IndexSet::single(1), c), Error);
+  contract_blocks_acc(a, b, IndexSet::single(1), c);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    double want = 0;
+    for (std::uint64_t j = 0; j < 3; ++j) {
+      const std::vector<std::uint64_t> ij{i, j};
+      want += a.at(ij) * b.at(ij);
+    }
+    EXPECT_NEAR(c.at(std::vector<std::uint64_t>{i}), want, 1e-12);
+  }
 }
 
 TEST(Matmul, PackUnpackRoundTrip) {
