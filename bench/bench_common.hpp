@@ -4,15 +4,19 @@
 /// small formatting helpers.  Each bench binary regenerates one table or
 /// figure; see DESIGN.md's per-experiment index.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
+#include "tce/common/parse.hpp"
 #include "tce/common/strings.hpp"
+#include "tce/common/thread_pool.hpp"
 #include "tce/common/timer.hpp"
 #include "tce/common/units.hpp"
 #include "tce/core/optimizer.hpp"
@@ -45,6 +49,41 @@ inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
+/// Consumes a `--<flag> N` pair from argv; returns \p fallback when the
+/// flag is absent.  The value is parsed with the checked decimal parser
+/// (tce/common/parse.hpp) and must land in [0, \p max]: garbage,
+/// overflow or out-of-range values print a usage message and exit 2
+/// instead of silently becoming 0 the way strtoul-with-no-end-check
+/// used to (which turned `--threads garbage` into "all hardware
+/// threads" and tainted recorded bench rows).
+inline std::uint64_t take_uint_arg(int& argc, char** argv,
+                                   std::string_view flag,
+                                   std::uint64_t fallback,
+                                   std::uint64_t max = UINT64_MAX) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %.*s needs a count argument\n",
+                     static_cast<int>(flag.size()), flag.data());
+        std::exit(2);
+      }
+      const std::optional<std::uint64_t> n =
+          parse_u64_in(argv[i + 1], 0, max);
+      if (!n.has_value()) {
+        std::fprintf(stderr,
+                     "error: %.*s needs an integer in [0, %llu], got '%s'\n",
+                     static_cast<int>(flag.size()), flag.data(),
+                     static_cast<unsigned long long>(max), argv[i + 1]);
+        std::exit(2);
+      }
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return *n;
+    }
+  }
+  return fallback;
+}
+
 /// Consumes a `--threads N` pair from argv (same protocol as
 /// BenchOutput's --json): the planner thread count for the run, 0
 /// (default, also the OptimizerConfig default) = all hardware threads,
@@ -52,21 +91,11 @@ inline void heading(const std::string& title) {
 /// OptimizerConfig::threads and stamp `threads` plus the measured
 /// `opt_wall_ms` on every emitted row, so a bench JSON document records
 /// the parallelism its timings were taken at (docs/FORMATS.md).
+/// Validated like the TCE_KERNEL_THREADS env knob: a non-numeric or
+/// out-of-range count exits 2 with a usage message.
 inline unsigned take_threads_arg(int& argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--threads") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --threads needs a count argument\n");
-        std::exit(2);
-      }
-      const auto n =
-          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
-      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      return n;
-    }
-  }
-  return 0;
+  return static_cast<unsigned>(take_uint_arg(argc, argv, "--threads", 0,
+                                             ThreadPool::kMaxThreads));
 }
 
 /// Machine-readable bench output (the `tce-bench/1` schema; see

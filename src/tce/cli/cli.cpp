@@ -1,13 +1,17 @@
 #include "tce/cli/cli.hpp"
 
 #include <cctype>
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "tce/codegen/codegen.hpp"
 #include "tce/common/assert.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
+#include "tce/common/parse.hpp"
 #include "tce/core/forest.hpp"
 #include "tce/fuzz/harness.hpp"
 #include "tce/lint/lint.hpp"
@@ -23,6 +27,7 @@
 #include "tce/obs/metrics.hpp"
 #include "tce/obs/trace.hpp"
 #include "tce/opmin/opmin.hpp"
+#include "tce/serve/server.hpp"
 #include "tce/tensor/kernel.hpp"
 #include "tce/verify/verifier.hpp"
 
@@ -128,6 +133,28 @@ usage:
         --latency SECONDS    per-message start-up (default 0.06)
         --flops F/S          per-processor flop rate (default 615000000)
 
+  tcemin serve [options]
+      Run the planner as a long-lived service (docs/SERVING.md):
+      tce-serve/1 requests in (problem JSON), plan JSON +
+      OptimizerStats out, with repeats answered from an LRU plan cache
+      keyed by a renaming-invariant canonical hash of (tree shape,
+      extents, grid, model, memory limit).  Cache hits are
+      byte-identical to fresh searches.  Certified-infeasible requests
+      are rejected by the lint prover before any search, with the rule
+      id and certificate in the reply.  An HTTP `GET /metrics` on the
+      same socket answers a Prometheus scrape of the metrics registry.
+        --socket PATH        listen on a Unix-domain socket at PATH
+        --stdio              serve stdin/stdout instead (tests, pipes)
+        --cache-capacity N   LRU plan-cache entries (default 256;
+                             0 disables caching)
+        --threads N          planner worker threads per search, as in
+                             plan (default 0 = all hardware threads)
+        --verify-cache       debug mode: re-run the search on every
+                             cache hit and fail the request if the
+                             cached bytes differ from the fresh ones
+        --metrics FILE       write the metrics registry when the
+                             daemon exits, as in plan
+
   tcemin fuzz [options]
       Differentially fuzz the planner: generate random contraction
       programs, machines and memory limits, then cross-check the DP
@@ -170,6 +197,9 @@ environment:
     TCE_KERNEL_THREADS=N  worker threads for the tiled GEMM's MC loop
                         (0 = hardware); results are bitwise identical
                         at every setting
+    TCE_SERVE_CACHE_CAPACITY=N  default for serve --cache-capacity
+    TCE_SERVE_THREADS=N         default for serve --threads
+    TCE_SERVE_VERIFY_CACHE=1    as serve --verify-cache
 
 Every run buffers its structured events in an in-memory flight
 recorder; on any nonzero exit the buffered tail is dumped to stderr
@@ -250,23 +280,17 @@ class Args {
     }
   }
 
-  /// Takes an option that must parse as an unsigned integer.
+  /// Takes an option that must parse as an unsigned integer (checked:
+  /// all digits, no overflow — see tce/common/parse.hpp).
   std::uint64_t take_uint(const std::string& name,
                           const std::string& fallback) {
     const std::string text = take_option(name, fallback);
-    if (text.empty() || text.size() > 12) {
+    const std::optional<std::uint64_t> v = parse_u64(text);
+    if (!v.has_value()) {
       throw UsageError("option " + name + " needs a number, got '" +
                        text + "'");
     }
-    std::uint64_t v = 0;
-    for (char c : text) {
-      if (c < '0' || c > '9') {
-        throw UsageError("option " + name + " needs a number, got '" +
-                         text + "'");
-      }
-      v = v * 10 + static_cast<std::uint64_t>(c - '0');
-    }
-    return v;
+    return *v;
   }
 
   /// Takes a byte-size option (e.g. "4GB"); empty fallback -> 0.
@@ -710,6 +734,63 @@ std::string cmd_characterize(Args args) {
   return characterize(net, grid).save_string();
 }
 
+/// Checked TCE_SERVE_* numeric environment lookup: unset/empty uses the
+/// fallback, garbage fails loudly (exit 1) naming the variable — same
+/// policy as kernel.cpp's env_tile/env_threads.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::optional<std::uint64_t> v = parse_u64(raw);
+  if (!v.has_value()) {
+    throw UsageError(std::string(name) +
+                     " must be a non-negative integer, got '" + raw + "'");
+  }
+  return *v;
+}
+
+std::string cmd_serve(Args args) {
+  const std::string socket_path = args.take_option("--socket", "");
+  const bool stdio = args.take_flag("--stdio");
+  const std::uint64_t capacity = args.take_uint(
+      "--cache-capacity",
+      std::to_string(env_u64("TCE_SERVE_CACHE_CAPACITY", 256)));
+  const auto threads = static_cast<unsigned>(
+      args.take_uint("--threads",
+                     std::to_string(env_u64("TCE_SERVE_THREADS", 0))));
+  const bool verify_cache = args.take_flag("--verify-cache") ||
+                            env_u64("TCE_SERVE_VERIFY_CACHE", 0) != 0;
+  const TraceGuard trace(args.take_option("--trace", ""));
+  const MetricsGuard metrics(args.take_option("--metrics", ""));
+  args.expect_empty();
+  if (stdio == !socket_path.empty()) {
+    throw UsageError("serve needs exactly one of --socket PATH or --stdio");
+  }
+
+  // The daemon always records metrics: they are a served surface
+  // (GET /metrics, the "metrics" op), not just an exit artifact.
+  if (!obs::metrics_enabled()) {
+    obs::metrics_reset();
+    obs::metrics_enable(true);
+  }
+  serve::ServeOptions opts;
+  opts.cache_capacity = static_cast<std::size_t>(capacity);
+  opts.threads = threads;
+  opts.verify_cache = verify_cache;
+  serve::Server server(opts);
+  obs::log_event(obs::LogLevel::kInfo, "serve", "start",
+                 json::ObjectWriter()
+                     .field("cache_capacity", capacity)
+                     .field("verify_cache", verify_cache)
+                     .field("transport", stdio ? "stdio" : "unix")
+                     .str());
+  if (stdio) {
+    serve::serve_loop(server, std::cin, std::cout);
+  } else {
+    serve::serve_unix_socket(server, socket_path);
+  }
+  return "";
+}
+
 std::string cmd_fuzz(Args args) {
   fuzz::FuzzOptions opts;
   opts.seed = args.take_uint("--seed", "1");
@@ -810,6 +891,8 @@ CliResult run_cli(const std::vector<std::string>& args) {
       result.output = cmd_characterize(std::move(rest));
     } else if (cmd == "fuzz") {
       result.output = cmd_fuzz(std::move(rest));
+    } else if (cmd == "serve") {
+      result.output = cmd_serve(std::move(rest));
     } else {
       throw UsageError("unknown command '" + cmd + "'; try 'tcemin help'");
     }

@@ -1,0 +1,25 @@
+#include "tce/common/parse.hpp"
+
+namespace tce {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64_in(std::string_view text,
+                                          std::uint64_t min,
+                                          std::uint64_t max) noexcept {
+  const std::optional<std::uint64_t> v = parse_u64(text);
+  if (!v.has_value() || *v < min || *v > max) return std::nullopt;
+  return v;
+}
+
+}  // namespace tce

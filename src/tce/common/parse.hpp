@@ -1,0 +1,35 @@
+#pragma once
+/// \file parse.hpp
+/// Checked decimal-number parsing shared by every surface that consumes
+/// user-controlled numbers: CLI options (tce/cli), TCE_* environment
+/// knobs (tce/tensor/kernel.cpp, tce/serve), bench-driver arguments
+/// (bench/bench_common.hpp) and the fuzz shrinker's generated-name
+/// suffixes (tce/fuzz/shrink.cpp).
+///
+/// The C library parsers these call sites used to reach for
+/// (std::strtoul with a null end pointer, std::atoi) silently return 0
+/// or a clamped value on garbage and overflow, which turned typos like
+/// `--threads garbage` into "use every hardware thread" and tainted
+/// recorded benchmark rows.  parse_u64 is strict instead: the whole
+/// text must be ASCII digits and the value must fit in uint64, or the
+/// parse reports failure and the caller decides how loudly to fail.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tce {
+
+/// Strict decimal parse of the *entire* string: one or more ASCII
+/// digits, no sign, no whitespace, no trailing characters, no overflow.
+/// Returns std::nullopt otherwise.  Leading zeros are accepted
+/// ("007" == 7).
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+
+/// parse_u64 restricted to [\p min, \p max]; nullopt when the text is
+/// malformed or the value falls outside the range.
+std::optional<std::uint64_t> parse_u64_in(std::string_view text,
+                                          std::uint64_t min,
+                                          std::uint64_t max) noexcept;
+
+}  // namespace tce

@@ -1,10 +1,12 @@
 #include "tce/fuzz/shrink.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "tce/common/parse.hpp"
 
 namespace tce::fuzz {
 
@@ -43,19 +45,6 @@ void garbage_collect(FuzzInstance& inst) {
 bool is_intermediate(const FuzzInstance& inst, const std::string& name) {
   return std::any_of(inst.stmts.begin(), inst.stmts.end(),
                      [&](const FuzzStmt& s) { return s.result == name; });
-}
-
-std::string fresh_input_name(const FuzzInstance& inst) {
-  // Generated inputs are X0, X1, ...; continue past the largest.
-  int next = 0;
-  for (const FuzzStmt& s : inst.stmts) {
-    for (const std::string* n : {&s.left, &s.right}) {
-      if (n->size() > 1 && (*n)[0] == 'X') {
-        next = std::max(next, std::atoi(n->c_str() + 1) + 1);
-      }
-    }
-  }
-  return "X" + std::to_string(next);
 }
 
 /// All one-step simplification candidates of \p inst, roughly most
@@ -128,6 +117,30 @@ std::vector<FuzzInstance> candidates(const FuzzInstance& inst) {
 }
 
 }  // namespace
+
+std::string fresh_input_name(const FuzzInstance& inst) {
+  // Generated inputs are X0, X1, ...; continue past the largest
+  // checked-parseable suffix, then step over any remaining clash (a
+  // non-numeric or overflowing X-name contributes nothing to `next`
+  // but still occupies its spelling).
+  std::set<std::string> used;
+  std::uint64_t next = 0;
+  for (const FuzzStmt& s : inst.stmts) {
+    used.insert(s.result);
+    for (const std::string* n : {&s.left, &s.right}) {
+      if (n->empty()) continue;
+      used.insert(*n);
+      if ((*n)[0] != 'X') continue;
+      const std::optional<std::uint64_t> suffix =
+          parse_u64(std::string_view(*n).substr(1));
+      if (suffix.has_value() && *suffix != UINT64_MAX) {
+        next = std::max(next, *suffix + 1);
+      }
+    }
+  }
+  while (used.contains("X" + std::to_string(next))) ++next;
+  return "X" + std::to_string(next);
+}
 
 FuzzInstance shrink_instance(
     FuzzInstance inst,

@@ -11,10 +11,19 @@
 /// reported and what a seed-pinned regression test should encode.
 
 #include <functional>
+#include <string>
 
 #include "tce/fuzz/generator.hpp"
 
 namespace tce::fuzz {
+
+/// Returns an input name "X<n>" that no statement of \p inst uses as a
+/// result or operand.  Generated inputs are X0, X1, ...; the suffix is
+/// parsed with the checked decimal parser (tce/common/parse.hpp), so a
+/// malformed or overflowing suffix — which std::atoi silently folds to
+/// 0 or an unspecified value, making the shrinker emit colliding names —
+/// is skipped, and the candidate is advanced past any remaining clash.
+std::string fresh_input_name(const FuzzInstance& inst);
 
 /// Minimizes \p inst under \p still_fails (which must return true for
 /// the original instance's failure; candidates that throw are treated as

@@ -1,0 +1,70 @@
+#include "tce/serve/cache.hpp"
+
+#include "tce/obs/metrics.hpp"
+
+namespace tce::serve {
+
+std::optional<std::string> PlanCache::get(const std::string& key) {
+  {
+    MutexLock lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      std::string plan = it->second->plan_json;
+      obs::count("serve.cache.hit");
+      return plan;
+    }
+    ++misses_;
+  }
+  obs::count("serve.cache.miss");
+  return std::nullopt;
+}
+
+void PlanCache::put(const std::string& key, std::string plan_json) {
+  if (capacity_ == 0) return;
+  std::uint64_t evicted = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Refresh: same canonical problem solved concurrently by two
+      // requests — the plans are identical (the search is
+      // deterministic), keep the newer bytes and the recency bump.
+      it->second->plan_json = std::move(plan_json);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(Entry{key, std::move(plan_json)});
+    index_.emplace(key, lru_.begin());
+    while (index_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++evictions_;
+      ++evicted;
+    }
+  }
+  if (evicted > 0) obs::count("serve.cache.evict", evicted);
+}
+
+std::size_t PlanCache::size() const {
+  MutexLock lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  MutexLock lock(mu_);
+  return misses_;
+}
+
+std::uint64_t PlanCache::evictions() const {
+  MutexLock lock(mu_);
+  return evictions_;
+}
+
+}  // namespace tce::serve

@@ -1,0 +1,71 @@
+#pragma once
+/// \file cache.hpp
+/// The cross-request plan cache of the `tcemin serve` daemon.
+///
+/// Keys are the full canonical key strings built by the server
+/// (canonical program text + grid + memory limit + optimizer flags +
+/// model fingerprint — see docs/SERVING.md); values are the plan JSON
+/// computed for the *canonical* problem.  Storing canonical-space plans
+/// is what makes alpha-renamed requests share one entry: the server
+/// renames the cached JSON into each request's vocabulary on the way
+/// out, so a hit and a fresh search produce byte-identical replies by
+/// construction (both render the same canonical bytes through the same
+/// rename table).
+///
+/// Eviction is strict LRU over a fixed entry capacity.  Lookups and
+/// inserts are O(1) amortized (hash map over intrusive list) and
+/// thread-safe behind one mutex — the critical section moves strings
+/// and splices list nodes only, never plans or searches.  Hit / miss /
+/// eviction totals are kept locally (exact, monotone) and mirrored into
+/// the metrics registry as serve.cache.{hit,miss,evict} counters when
+/// metrics are enabled.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "tce/common/annotations.hpp"
+
+namespace tce::serve {
+
+/// LRU map from canonical key strings to canonical plan JSON.
+class PlanCache {
+ public:
+  /// \p capacity = max resident entries; 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan JSON and refreshes the entry's recency;
+  /// std::nullopt on miss.  Counts serve.cache.hit / serve.cache.miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts (or refreshes) \p key → \p plan_json, evicting the least
+  /// recently used entry when over capacity (serve.cache.evict).
+  void put(const std::string& key, std::string plan_json);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string plan_json;
+  };
+
+  std::size_t capacity_;
+  mutable Mutex mu_;
+  /// Most recently used at the front.
+  std::list<Entry> lru_ TCE_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      TCE_GUARDED_BY(mu_);
+  std::uint64_t hits_ TCE_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ TCE_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ TCE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tce::serve

@@ -1,0 +1,177 @@
+#include "tce/serve/canonical.hpp"
+
+#include <map>
+
+namespace tce::serve {
+
+namespace {
+
+/// Assigns canonical names in first-appearance order.
+class Renamer {
+ public:
+  explicit Renamer(char prefix) : prefix_(prefix) {}
+
+  const std::string& canonical(const std::string& request_name) {
+    auto it = map_.find(request_name);
+    if (it == map_.end()) {
+      it = map_.emplace(request_name,
+                        prefix_ + std::to_string(map_.size()))
+               .first;
+    }
+    return it->second;
+  }
+
+  /// True when \p request_name has been assigned already.
+  bool seen(const std::string& request_name) const {
+    return map_.contains(request_name);
+  }
+
+  /// (canonical, request) pairs, in assignment order.
+  void append_renames(
+      std::vector<std::pair<std::string, std::string>>& out) const {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(map_.size());
+    for (const auto& [request, canon] : map_) {
+      pairs.emplace_back(canon, request);
+    }
+    out.insert(out.end(), pairs.begin(), pairs.end());
+  }
+
+ private:
+  char prefix_;
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace
+
+CanonicalProblem canonicalize_program(const ParsedProgram& program) {
+  Renamer indices('i');
+  Renamer tensors('t');
+  const IndexSpace& space = program.space;
+
+  // First pass assigns names over the fixed traversal and remembers
+  // each index's extent at first appearance.
+  std::vector<std::pair<std::string, std::uint64_t>> decls;
+  auto visit_index = [&](IndexId id) {
+    const std::string& name = space.name(id);
+    if (!indices.seen(name)) {
+      decls.emplace_back(indices.canonical(name), space.extent(id));
+    }
+  };
+  for (const ParsedStatement& stmt : program.statements) {
+    tensors.canonical(stmt.result.name);
+    for (IndexId id : stmt.result.dims) visit_index(id);
+    for (const TensorRef& factor : stmt.factors) {
+      tensors.canonical(factor.name);
+      for (IndexId id : factor.dims) visit_index(id);
+    }
+  }
+
+  // Second pass renders the canonical text.  The sum[...] list is
+  // rendered in canonical-name numeric order (IndexSet has no order of
+  // its own, and request declaration order must not leak into the
+  // canonical bytes); canonical index names sort correctly as numbers
+  // because they are generated densely from 0 and compared below by
+  // their numeric suffix position in the decls list.
+  CanonicalProblem out;
+  for (const auto& [name, extent] : decls) {
+    out.text += "index " + name + " = " + std::to_string(extent) + "\n";
+  }
+  auto render_tensor = [&](const TensorRef& ref) {
+    std::string t = tensors.canonical(ref.name) + "[";
+    for (std::size_t i = 0; i < ref.dims.size(); ++i) {
+      if (i != 0) t += ",";
+      t += indices.canonical(space.name(ref.dims[i]));
+    }
+    return t + "]";
+  };
+  for (const ParsedStatement& stmt : program.statements) {
+    out.text += render_tensor(stmt.result) + " =";
+    if (!stmt.sum_indices.empty()) {
+      // Order the sum set by canonical assignment: map each member to
+      // its canonical name, then sort by the dense numeric suffix.
+      std::map<std::uint64_t, std::string> ordered;
+      for (IndexId id : stmt.sum_indices) {
+        const std::string& canon = indices.canonical(space.name(id));
+        ordered.emplace(std::stoull(canon.substr(1)), canon);
+      }
+      out.text += " sum[";
+      bool first = true;
+      for (const auto& entry : ordered) {
+        if (!first) out.text += ",";
+        out.text += entry.second;
+        first = false;
+      }
+      out.text += "]";
+    }
+    for (std::size_t f = 0; f < stmt.factors.size(); ++f) {
+      out.text += f == 0 ? " " : " * ";
+      out.text += render_tensor(stmt.factors[f]);
+    }
+    out.text += "\n";
+  }
+
+  indices.append_renames(out.renames);
+  tensors.append_renames(out.renames);
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string rename_quoted(
+    std::string_view json,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::map<std::string_view, const std::string*> table;
+  for (const auto& [canon, request] : renames) {
+    table.emplace(canon, &request);
+  }
+  std::string out;
+  out.reserve(json.size());
+  std::size_t i = 0;
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c != '"') {
+      out += c;
+      ++i;
+      continue;
+    }
+    // Scan the quoted string (skipping escapes) to find its end.
+    std::size_t j = i + 1;
+    bool escaped = false;
+    while (j < json.size() && (escaped || json[j] != '"')) {
+      escaped = !escaped && json[j] == '\\';
+      ++j;
+    }
+    // j is the closing quote (or end of malformed input).
+    const std::string_view body = json.substr(i + 1, j - (i + 1));
+    const auto it = table.find(body);
+    out += '"';
+    if (it != table.end()) {
+      out += *it->second;
+    } else {
+      out += body;
+    }
+    out += '"';
+    i = j < json.size() ? j + 1 : j;
+  }
+  return out;
+}
+
+}  // namespace tce::serve

@@ -1,0 +1,68 @@
+#pragma once
+/// \file canonical.hpp
+/// Renaming-invariant canonicalization of planner problems, for the
+/// cross-request plan cache (tce/serve/cache.hpp).
+///
+/// Two requests that differ only in what their index variables and
+/// tensors are *called* — or in the order indices were declared — pose
+/// the same optimization problem: the DP search sees extents, tree
+/// shape and the machine model, never names.  canonicalize_program maps
+/// a parsed program onto a canonical spelling in which indices are
+/// renamed i0, i1, ... and tensors t0, t1, ... in order of first
+/// appearance over a fixed traversal (statements in order; within a
+/// statement the result's dimension list, then each factor's dimension
+/// list).  Alpha-variants — including programs that declare the same
+/// indices in a different order, group declarations differently, or
+/// declare extra unused indices — render to byte-identical canonical
+/// text and therefore hash to the same cache key, while any change to
+/// extents, tree shape or arity changes the text.
+///
+/// The returned rename table (canonical name → request name) lets the
+/// server translate a plan computed for (or cached under) the canonical
+/// problem back into the request's vocabulary: plan JSON mentions names
+/// only as whole quoted strings, and the canonical alphabet {iN, tN} is
+/// disjoint from the schema's enum words ("cannon", "input", ...), so
+/// rename_quoted substitutes exactly the name tokens and nothing else.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tce/expr/parser.hpp"
+
+namespace tce::serve {
+
+/// A canonicalized problem: the canonical program text plus the rename
+/// table mapping canonical names back to the request's names.
+struct CanonicalProblem {
+  /// Canonical DSL text: one `index iN = extent` line per used index in
+  /// first-appearance order, then the statements with canonical names.
+  std::string text;
+  /// (canonical name, request name) pairs — indices (iN) and tensors
+  /// (tN) together; the two families cannot collide.
+  std::vector<std::pair<std::string, std::string>> renames;
+};
+
+/// Canonicalizes \p program (see file comment).  Works for any parsed
+/// program, forests included; unused declared indices are dropped (they
+/// cannot affect a plan).
+CanonicalProblem canonicalize_program(const ParsedProgram& program);
+
+/// FNV-1a 64-bit hash of \p text (the cache's key-digest primitive).
+std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// \p value as 16 lowercase hex digits.
+std::string hex64(std::uint64_t value);
+
+/// Replaces every *whole* double-quoted string in \p json that equals a
+/// canonical name in \p renames with its request name, leaving all
+/// other bytes (numbers included) untouched.  Substitution is
+/// single-pass per token, so swap-shaped tables ("i0"→"i1", "i1"→"i0")
+/// behave correctly.  Escape sequences inside strings are skipped over,
+/// not interpreted — name tokens are plain identifiers.
+std::string rename_quoted(
+    std::string_view json,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+}  // namespace tce::serve

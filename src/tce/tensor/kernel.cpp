@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tce/common/checked.hpp"
+#include "tce/common/parse.hpp"
 #include "tce/common/thread_pool.hpp"
 #include "tce/common/timer.hpp"
 #include "tce/obs/metrics.hpp"
@@ -32,28 +33,26 @@ std::size_t round_up(std::size_t v, std::size_t unit) {
 std::size_t env_tile(const char* name, std::size_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || v < kTileMin || v > kTileMax) {
+  const auto v = parse_u64_in(raw, kTileMin, kTileMax);
+  if (!v.has_value()) {
     throw KernelUsageError(std::string(name) + "='" + raw +
                            "' must be an integer in [" +
                            std::to_string(kTileMin) + ", " +
                            std::to_string(kTileMax) + "]");
   }
-  return static_cast<std::size_t>(v);
+  return static_cast<std::size_t>(*v);
 }
 
 unsigned env_threads(const char* name) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || v > ThreadPool::kMaxThreads) {
+  const auto v = parse_u64_in(raw, 0, ThreadPool::kMaxThreads);
+  if (!v.has_value()) {
     throw KernelUsageError(std::string(name) + "='" + raw +
                            "' must be an integer in [0, " +
                            std::to_string(ThreadPool::kMaxThreads) + "]");
   }
-  return static_cast<unsigned>(v);
+  return static_cast<unsigned>(*v);
 }
 
 KernelConfig config_from_env() {

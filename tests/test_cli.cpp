@@ -444,5 +444,41 @@ TEST(Cli, UsageErrorsAlsoCarryTheTail) {
   EXPECT_NE(r.error.find("\"code\":1"), std::string::npos);
 }
 
+// ------------------------------------------------------------------ serve
+
+TEST(Cli, ServeNeedsExactlyOneTransport) {
+  CliResult none = run_cli({"serve"});
+  EXPECT_EQ(none.exit_code, kExitUsage);
+  EXPECT_NE(none.error.find("--socket PATH or --stdio"),
+            std::string::npos);
+  CliResult both = run_cli({"serve", "--stdio", "--socket", "/tmp/x.sock"});
+  EXPECT_EQ(both.exit_code, kExitUsage);
+}
+
+TEST(Cli, ServeRejectsMalformedNumericOptions) {
+  for (const char* flag : {"--cache-capacity", "--threads"}) {
+    CliResult r = run_cli({"serve", "--stdio", flag, "garbage"});
+    EXPECT_EQ(r.exit_code, kExitUsage) << flag;
+    EXPECT_NE(r.error.find("garbage"), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, ServeRejectsMalformedEnvironment) {
+  ::setenv("TCE_SERVE_CACHE_CAPACITY", "lots", 1);
+  CliResult r = run_cli({"serve", "--stdio"});
+  ::unsetenv("TCE_SERVE_CACHE_CAPACITY");
+  EXPECT_EQ(r.exit_code, kExitUsage);
+  EXPECT_NE(r.error.find("TCE_SERVE_CACHE_CAPACITY"), std::string::npos);
+  EXPECT_NE(r.error.find("lots"), std::string::npos);
+}
+
+TEST(Cli, HelpDocumentsServe) {
+  CliResult r = run_cli({"help"});
+  ASSERT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("tcemin serve"), std::string::npos);
+  EXPECT_NE(r.output.find("--verify-cache"), std::string::npos);
+  EXPECT_NE(r.output.find("TCE_SERVE_CACHE_CAPACITY"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tce

@@ -9,6 +9,7 @@
 #include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
+#include "tce/common/parse.hpp"
 #include "tce/common/rng.hpp"
 #include "tce/common/strings.hpp"
 #include "tce/common/table.hpp"
@@ -51,6 +52,42 @@ TEST(Checked, CeilDiv) {
   EXPECT_EQ(ceil_div(10, 3), 4u);
   EXPECT_EQ(ceil_div(9, 3), 3u);
   EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+}
+
+// ------------------------------------------------------------------ parse
+
+TEST(Parse, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Parse, RejectsGarbageEmptyAndPartialNumbers) {
+  // Every shape strtoul/atoi silently folds to 0 (or truncates at the
+  // first bad character) must come back nullopt instead.
+  EXPECT_EQ(parse_u64(""), std::nullopt);
+  EXPECT_EQ(parse_u64("garbage"), std::nullopt);
+  EXPECT_EQ(parse_u64("12abc"), std::nullopt);
+  EXPECT_EQ(parse_u64(" 12"), std::nullopt);
+  EXPECT_EQ(parse_u64("12 "), std::nullopt);
+  EXPECT_EQ(parse_u64("-1"), std::nullopt);
+  EXPECT_EQ(parse_u64("+1"), std::nullopt);
+  EXPECT_EQ(parse_u64("0x10"), std::nullopt);
+  EXPECT_EQ(parse_u64("1.5"), std::nullopt);
+}
+
+TEST(Parse, RejectsOverflow) {
+  EXPECT_EQ(parse_u64("18446744073709551616"), std::nullopt);  // max+1
+  EXPECT_EQ(parse_u64("99999999999999999999999"), std::nullopt);
+}
+
+TEST(Parse, RangeCheckedVariant) {
+  EXPECT_EQ(parse_u64_in("8", 8, 64), 8u);
+  EXPECT_EQ(parse_u64_in("64", 8, 64), 64u);
+  EXPECT_EQ(parse_u64_in("7", 8, 64), std::nullopt);
+  EXPECT_EQ(parse_u64_in("65", 8, 64), std::nullopt);
+  EXPECT_EQ(parse_u64_in("junk", 0, 100), std::nullopt);
 }
 
 // ---------------------------------------------------------------- strings

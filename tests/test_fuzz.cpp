@@ -189,6 +189,37 @@ TEST(FuzzShrink, ShrunkInstanceStillBuilds) {
 
 // ----------------------------------------------------------- brute force
 
+TEST(FuzzShrink, FreshInputNamesNeverCollide) {
+  // Regression: the old std::atoi suffix parse silently folded an
+  // overflowing or malformed X-name suffix to an unspecified value (UB
+  // above INT_MAX), so an instance containing such a name could be
+  // handed a "fresh" name it already used.  The checked parser skips
+  // unparseable suffixes and the linear probe clears any residue.
+  FuzzInstance inst;
+  FuzzStmt s;
+  s.result = "C";
+  s.result_dims = {"i"};
+  s.left = "X99999999999999999999";  // overflows uint64 — must be skipped
+  s.left_dims = {"i"};
+  s.right = "X0";
+  s.right_dims = {"i"};
+  inst.stmts = {s};
+  EXPECT_EQ(fresh_input_name(inst), "X1");
+
+  // A huge *valid* suffix advances the counter past it.
+  inst.stmts[0].left = "X18446744073709551614";
+  EXPECT_EQ(fresh_input_name(inst), "X18446744073709551615");
+
+  // Non-numeric X-names are not numbers either.
+  inst.stmts[0].left = "Xylophone";
+  inst.stmts[0].right = "X0";
+  EXPECT_EQ(fresh_input_name(inst), "X1");
+
+  // The probe steps over every used name even when suffixes are dense.
+  inst.stmts[0].left = "X1";
+  EXPECT_EQ(fresh_input_name(inst), "X2");
+}
+
 TEST(FuzzBrute, SingleMatmulEnumerationIsExhaustive) {
   // One contraction, no fusion pressure: the brute root frontier must
   // contain a solution for every result distribution it kept, all with

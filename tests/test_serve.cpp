@@ -1,0 +1,487 @@
+// Tests for tce/serve: renaming-invariant canonicalization, the LRU
+// plan cache, the tce-serve/1 request handler (admission control,
+// hit/fresh byte-identity, the verify-cache debug mode) and the
+// stdio/framed request loop.  The concurrent storm tests run under
+// TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tce/common/json.hpp"
+#include "tce/costmodel/characterize.hpp"
+#include "tce/expr/parser.hpp"
+#include "tce/obs/metrics.hpp"
+#include "tce/serve/cache.hpp"
+#include "tce/serve/canonical.hpp"
+#include "tce/serve/server.hpp"
+
+namespace tce::serve {
+namespace {
+
+// ------------------------------------------------------ canonicalization
+
+constexpr const char* kChain =
+    "index a, b = 480\n"
+    "index a2 = 480\n"
+    "index i = 32\n"
+    "T[a,b] = sum[i] X[a,i] * Y[i,b]\n"
+    "S[a,a2] = sum[b] T[a,b] * Z[b,a2]\n";
+
+std::string canonical_text(const char* program) {
+  return canonicalize_program(parse_program(program)).text;
+}
+
+TEST(ServeCanonical, AlphaRenamedProgramsCanonicalizeIdentically) {
+  // Same problem: every index and tensor renamed, declarations
+  // regrouped and reordered, plus an extra unused index.
+  const char* renamed =
+      "index unused = 7\n"
+      "index k = 32\n"
+      "index p = 480\n"
+      "index q, r = 480\n"
+      "Mid[p,q] = sum[k] Left[p,k] * Right[k,q]\n"
+      "Out[p,r] = sum[q] Mid[p,q] * Other[q,r]\n";
+  EXPECT_EQ(canonical_text(kChain), canonical_text(renamed));
+}
+
+TEST(ServeCanonical, ExtentChangesTheCanonicalText) {
+  const char* bigger =
+      "index a, b = 480\n"
+      "index a2 = 480\n"
+      "index i = 64\n"  // 32 -> 64
+      "T[a,b] = sum[i] X[a,i] * Y[i,b]\n"
+      "S[a,a2] = sum[b] T[a,b] * Z[b,a2]\n";
+  EXPECT_NE(canonical_text(kChain), canonical_text(bigger));
+}
+
+TEST(ServeCanonical, TreeShapeChangesTheCanonicalText) {
+  const char* single =
+      "index a, b = 480\n"
+      "index i = 32\n"
+      "T[a,b] = sum[i] X[a,i] * Y[i,b]\n";
+  EXPECT_NE(canonical_text(kChain), canonical_text(single));
+}
+
+TEST(ServeCanonical, CanonicalTextIsAFixpoint) {
+  const std::string once = canonical_text(kChain);
+  EXPECT_EQ(once, canonicalize_program(parse_program(once)).text);
+}
+
+TEST(ServeCanonical, SumOrderDoesNotLeakIntoCanonicalText) {
+  // sum[e,l] vs sum[l,e] is the same IndexSet; spelling order in the
+  // request must not split the cache key.
+  const char* ab =
+      "index a, b, e, l = 16\n"
+      "R[a,b] = sum[e,l] P[a,e,l] * Q[e,l,b]\n";
+  const char* ba =
+      "index a, b, e, l = 16\n"
+      "R[a,b] = sum[l,e] P[a,e,l] * Q[e,l,b]\n";
+  EXPECT_EQ(canonical_text(ab), canonical_text(ba));
+}
+
+TEST(ServeCanonical, RenameQuotedSubstitutesWholeTokensOnly) {
+  const std::vector<std::pair<std::string, std::string>> renames = {
+      {"i0", "a"}, {"t0", "Total"}};
+  // "i0" renames; "i01" and the unquoted i0 do not; schema words and
+  // numbers are untouched.
+  EXPECT_EQ(rename_quoted(R"({"x":"i0","y":"i01","t":"t0","k":10})",
+                          renames),
+            R"({"x":"a","y":"i01","t":"Total","k":10})");
+}
+
+TEST(ServeCanonical, RenameQuotedHandlesSwaps) {
+  const std::vector<std::pair<std::string, std::string>> swap = {
+      {"i0", "i1"}, {"i1", "i0"}};
+  EXPECT_EQ(rename_quoted(R"(["i0","i1","i0"])", swap),
+            R"(["i1","i0","i1"])");
+}
+
+TEST(ServeCanonical, Fnv1a64MatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(hex64(0xcbf29ce484222325ull), "cbf29ce484222325");
+}
+
+// ------------------------------------------------------------- LRU cache
+
+TEST(ServePlanCache, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanCache cache(2);
+  cache.put("k1", "p1");
+  cache.put("k2", "p2");
+  ASSERT_TRUE(cache.get("k1").has_value());  // k1 now most recent
+  cache.put("k3", "p3");                     // evicts k2, not k1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.get("k1").has_value());
+  EXPECT_FALSE(cache.get("k2").has_value());
+  EXPECT_TRUE(cache.get("k3").has_value());
+}
+
+TEST(ServePlanCache, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.put("k", "p");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ServePlanCache, RefreshKeepsOneEntryPerKey) {
+  PlanCache cache(4);
+  cache.put("k", "p1");
+  cache.put("k", "p2");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get("k"), "p2");
+}
+
+// ---------------------------------------------------------------- server
+
+std::string plan_request(const std::string& program,
+                         const std::string& id = "t",
+                         std::uint64_t mem_limit = 0) {
+  json::ObjectWriter req;
+  req.field("schema", "tce-serve/1")
+      .field("op", "plan")
+      .field("id", id)
+      .field("program", program)
+      .field("procs", 16);
+  if (mem_limit > 0) req.field("mem_limit_bytes", mem_limit);
+  return req.str();
+}
+
+json::Value handle(Server& server, const std::string& request) {
+  return json::parse(server.handle(request));
+}
+
+/// The reply's "plan" member re-rendered; byte-stable because
+/// ObjectWriter renders deterministically.
+std::string plan_bytes(const std::string& reply) {
+  const std::size_t at = reply.find("\"plan\":");
+  EXPECT_NE(at, std::string::npos) << reply;
+  // "plan" is the last member: strip the envelope's closing brace.
+  return reply.substr(at + 7, reply.size() - (at + 7) - 1);
+}
+
+ServeOptions small_options() {
+  ServeOptions o;
+  o.threads = 1;  // keep unit tests cheap; plans are thread-invariant
+  return o;
+}
+
+TEST(ServeServer, AlphaRenamedRequestHitsAndRepliesInRequestNames) {
+  Server server(small_options());
+  const json::Value miss = handle(server, plan_request(kChain, "m"));
+  ASSERT_TRUE(miss.at("ok").boolean);
+  EXPECT_EQ(miss.at("cache").string, "miss");
+
+  const char* renamed =
+      "index k = 32\n"
+      "index p, q, r = 480\n"
+      "Mid[p,q] = sum[k] Lf[p,k] * Rt[k,q]\n"
+      "Out[p,r] = sum[q] Mid[p,q] * Ot[q,r]\n";
+  const std::string reply = server.handle(plan_request(renamed, "h"));
+  const json::Value hit = json::parse(reply);
+  ASSERT_TRUE(hit.at("ok").boolean);
+  EXPECT_EQ(hit.at("cache").string, "hit");
+  EXPECT_EQ(hit.at("key").string, miss.at("key").string);
+  // The cached canonical plan must come back in *this* request's
+  // vocabulary, with no canonical names leaking.
+  EXPECT_NE(reply.find("\"Mid\""), std::string::npos);
+  EXPECT_NE(reply.find("\"Out\""), std::string::npos);
+  EXPECT_EQ(reply.find("\"t0\""), std::string::npos);
+  EXPECT_EQ(reply.find("\"i0\""), std::string::npos);
+}
+
+TEST(ServeServer, HitIsByteIdenticalToFreshSearch) {
+  const char* renamed =
+      "index k = 32\n"
+      "index p, q, r = 480\n"
+      "Mid[p,q] = sum[k] Lf[p,k] * Rt[k,q]\n"
+      "Out[p,r] = sum[q] Mid[p,q] * Ot[q,r]\n";
+  // Server A answers `renamed` from the cache (warmed by the
+  // alpha-equivalent kChain); server B searches it fresh.
+  Server warmed(small_options());
+  ASSERT_TRUE(handle(warmed, plan_request(kChain)).at("ok").boolean);
+  const std::string via_hit = warmed.handle(plan_request(renamed, "x"));
+  Server fresh(small_options());
+  const std::string via_search = fresh.handle(plan_request(renamed, "x"));
+  EXPECT_EQ(json::parse(via_hit).at("cache").string, "hit");
+  EXPECT_EQ(json::parse(via_search).at("cache").string, "miss");
+  EXPECT_EQ(plan_bytes(via_hit), plan_bytes(via_search));
+}
+
+TEST(ServeServer, KeyDependsOnGridModelLimitAndFlags) {
+  Server server(small_options());
+  const auto key_of = [&](std::string extra_fields) {
+    json::ObjectWriter req;
+    req.field("op", "plan").field("program", kChain);
+    std::string text = req.str();
+    if (!extra_fields.empty()) {
+      text.insert(text.size() - 1, "," + extra_fields);
+    }
+    const json::Value reply = handle(server, text);
+    EXPECT_TRUE(reply.at("ok").boolean) << server.handle(text);
+    return reply.at("key").string;
+  };
+  const std::string base = key_of("");
+  EXPECT_NE(base, key_of("\"procs\":64"));
+  EXPECT_NE(base, key_of("\"procs_per_node\":4"));
+  EXPECT_NE(base, key_of("\"mem_limit_bytes\":40000000000"));
+  EXPECT_NE(base, key_of("\"fusion\":false"));
+  EXPECT_NE(base, key_of("\"redistribution\":false"));
+  EXPECT_NE(base, key_of("\"replication\":true"));
+  EXPECT_NE(base, key_of("\"liveness\":true"));
+  // A request-supplied characterization table is a different model
+  // fingerprint even when it describes the same grid.
+  const std::string machine = characterize_itanium(16).save_string();
+  EXPECT_NE(base, key_of("\"machine\":" + json::quote(machine)));
+  // Same settings spelled explicitly → same key (and a cache hit).
+  EXPECT_EQ(base, key_of("\"procs\":16,\"fusion\":true"));
+}
+
+TEST(ServeServer, AdmissionControlRejectsWithCertificate) {
+  Server server(small_options());
+  const json::Value reply =
+      handle(server, plan_request(kChain, "r", /*mem_limit=*/1000));
+  ASSERT_FALSE(reply.at("ok").boolean);
+  const json::Value& err = reply.at("error");
+  EXPECT_EQ(err.at("code").string, "infeasible");
+  EXPECT_EQ(err.at("rule").string, "mem.infeasible");
+  const json::Value& cert = err.at("certificate");
+  EXPECT_GT(cert.at("lower_bound_node_bytes").integer, 1000u);
+  EXPECT_EQ(cert.at("mem_limit_node_bytes").integer, 1000u);
+  // The binding node is reported in the request's vocabulary.
+  const std::string node = cert.at("node").string;
+  EXPECT_TRUE(node == "X" || node == "Y" || node == "Z" || node == "T" ||
+              node == "S")
+      << node;
+  // Rejected before any search: nothing was cached.
+  EXPECT_EQ(server.cache().size(), 0u);
+}
+
+TEST(ServeServer, ErrorCodesAreStable) {
+  Server server(small_options());
+  EXPECT_EQ(handle(server, "not json").at("error").at("code").string,
+            "usage");
+  EXPECT_EQ(handle(server, "[1,2]").at("error").at("code").string,
+            "usage");
+  EXPECT_EQ(handle(server, R"({"op":"nope"})")
+                .at("error")
+                .at("code")
+                .string,
+            "usage");
+  EXPECT_EQ(handle(server, R"({"op":"plan"})")
+                .at("error")
+                .at("code")
+                .string,
+            "usage");
+  EXPECT_EQ(
+      handle(server,
+             R"({"op":"plan","program":"index a = 4\nT[a] = X[a"})")
+          .at("error")
+          .at("code")
+          .string,
+      "input");
+  EXPECT_EQ(handle(server, R"({"schema":"tce-serve/2","op":"ping"})")
+                .at("error")
+                .at("code")
+                .string,
+            "usage");
+}
+
+TEST(ServeServer, LruEvictionForcesAReSearch) {
+  ServeOptions options = small_options();
+  options.cache_capacity = 1;
+  Server server(options);
+  const char* other =
+      "index a, b = 64\n"
+      "index i = 16\n"
+      "R[a,b] = sum[i] P[a,i] * Q[i,b]\n";
+  EXPECT_EQ(handle(server, plan_request(kChain)).at("cache").string,
+            "miss");
+  EXPECT_EQ(handle(server, plan_request(other)).at("cache").string,
+            "miss");  // evicts kChain
+  EXPECT_EQ(handle(server, plan_request(kChain)).at("cache").string,
+            "miss");  // had been evicted
+  EXPECT_EQ(handle(server, plan_request(kChain)).at("cache").string,
+            "hit");
+  EXPECT_EQ(server.cache().evictions(), 2u);
+}
+
+TEST(ServeServer, VerifyCacheModePassesOnHonestHits) {
+  ServeOptions options = small_options();
+  options.verify_cache = true;
+  Server server(options);
+  obs::ScopedMetrics metrics;
+  EXPECT_EQ(handle(server, plan_request(kChain)).at("cache").string,
+            "miss");
+  EXPECT_EQ(handle(server, plan_request(kChain)).at("cache").string,
+            "hit");
+  EXPECT_EQ(obs::counter_value("serve.verify.ok"), 1u);
+  EXPECT_EQ(obs::counter_value("serve.verify.mismatch"), 0u);
+}
+
+TEST(ServeServer, PingAndMetricsAndShutdownOps) {
+  Server server(small_options());
+  obs::ScopedMetrics metrics;
+  ASSERT_TRUE(handle(server, plan_request(kChain)).at("ok").boolean);
+  const json::Value ping = handle(server, R"({"op":"ping","id":"7"})");
+  EXPECT_TRUE(ping.at("ok").boolean);
+  EXPECT_EQ(ping.at("id").string, "7");
+  EXPECT_EQ(ping.at("cache").at("misses").integer, 1u);
+  const json::Value m = handle(server, R"({"op":"metrics"})");
+  EXPECT_TRUE(m.at("metrics").find("serve.cache.miss") != nullptr);
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_TRUE(handle(server, R"({"op":"shutdown"})").at("ok").boolean);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+// ----------------------------------------------------- concurrent storms
+
+TEST(ServeServer, ConcurrentHitMissStormRepliesAreByteIdentical) {
+  Server server(small_options());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 6;
+  // Two distinct problems, each with per-thread alpha-renamed
+  // spellings, all in flight at once: every reply for the same
+  // (problem, spelling) must be byte-identical no matter which thread
+  // won the search and which ones hit the cache.
+  const auto spelling = [](int problem, int t) {
+    const std::string ix = "x" + std::to_string(t);
+    const std::string iy = "y" + std::to_string(t);
+    const std::string ik = "k" + std::to_string(t);
+    const std::string extent = problem == 0 ? "64" : "96";
+    return "index " + ix + ", " + iy + " = " + extent + "\nindex " + ik +
+           " = 16\nR" + std::to_string(t) + "[" + ix + "," + iy +
+           "] = sum[" + ik + "] P" + std::to_string(t) + "[" + ix + "," +
+           ik + "] * Q" + std::to_string(t) + "[" + ik + "," + iy + "]\n";
+  };
+  std::vector<std::vector<std::string>> replies(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int q = 0; q < kPerThread; ++q) {
+        replies[t].push_back(
+            server.handle(plan_request(spelling(q % 2, t), "c")));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int q = 0; q < kPerThread; ++q) {
+      ASSERT_TRUE(json::parse(replies[t][q]).at("ok").boolean)
+          << replies[t][q];
+      // Same (problem, spelling) → byte-identical plan, hit or miss.
+      EXPECT_EQ(plan_bytes(replies[t][q]),
+                plan_bytes(replies[t][q % 2]));
+    }
+  }
+  // Exactly two searches happened; everything else hit.
+  EXPECT_EQ(server.cache().size(), 2u);
+  EXPECT_EQ(server.cache().hits() + server.cache().misses(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(ServePlanCache, ConcurrentGetPutIsRaceFree) {
+  PlanCache cache(8);
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> found{0};
+  workers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 12);
+        if (cache.get(key).has_value()) {
+          found.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.put(key, "plan-" + key);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.hits(), found.load());
+}
+
+// ------------------------------------------------------------ serve_loop
+
+TEST(ServeLoop, BareJsonLinesAndShutdown) {
+  Server server(small_options());
+  std::istringstream in(R"({"op":"ping"})"
+                        "\n"
+                        R"({"op":"shutdown"})"
+                        "\n"
+                        R"({"op":"ping","id":"after"})"
+                        "\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_loop(server, in, out), 0);
+  const std::string text = out.str();
+  // The ping and the shutdown got replies; the loop ended before the
+  // third request.
+  EXPECT_NE(text.find("\"op\":\"ping\""), std::string::npos);
+  EXPECT_NE(text.find("\"op\":\"shutdown\""), std::string::npos);
+  EXPECT_EQ(text.find("after"), std::string::npos);
+}
+
+TEST(ServeLoop, LengthPrefixedFramesMirrorTheFraming) {
+  Server server(small_options());
+  const std::string payload = R"({"op":"ping"})";
+  std::istringstream in(std::to_string(payload.size()) + "\n" + payload +
+                        "\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_loop(server, in, out), 0);
+  // Framed request → framed reply: "<len>\n<payload>\n".
+  const std::string text = out.str();
+  const std::size_t nl = text.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::size_t len = std::stoul(text.substr(0, nl));
+  ASSERT_EQ(text.size(), nl + 1 + len + 1);
+  const json::Value reply = json::parse(text.substr(nl + 1, len));
+  EXPECT_TRUE(reply.at("ok").boolean);
+}
+
+TEST(ServeLoop, BadFrameLengthAnswersUsageAndCloses) {
+  Server server(small_options());
+  std::istringstream in("zzz\n{\"op\":\"ping\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_loop(server, in, out), 0);
+  const json::Value reply =
+      json::parse(out.str().substr(0, out.str().find('\n')));
+  EXPECT_FALSE(reply.at("ok").boolean);
+  EXPECT_EQ(reply.at("error").at("code").string, "usage");
+  // The stream closed on desync: the trailing ping was never answered.
+  EXPECT_EQ(out.str().find("\"op\":\"ping\""), std::string::npos);
+}
+
+TEST(ServeLoop, MetricsScrapeAnswersPrometheusAndCloses) {
+  Server server(small_options());
+  obs::ScopedMetrics metrics;
+  ASSERT_TRUE(handle(server, plan_request(kChain)).at("ok").boolean);
+  std::istringstream in(
+      "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+      "{\"op\":\"ping\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_loop(server, in, out), 0);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("HTTP/1.0 200 OK", 0), 0u) << text;
+  EXPECT_NE(text.find("tce_serve_cache_miss_total"), std::string::npos);
+  // Scrape connections are one-shot.
+  EXPECT_EQ(text.find("\"op\":\"ping\""), std::string::npos);
+}
+
+TEST(ServeLoop, UnknownHttpPathIs404) {
+  Server server(small_options());
+  std::istringstream in("GET /other HTTP/1.1\r\n\r\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_loop(server, in, out), 0);
+  EXPECT_EQ(out.str().rfind("HTTP/1.0 404 Not Found", 0), 0u);
+}
+
+}  // namespace
+}  // namespace tce::serve
