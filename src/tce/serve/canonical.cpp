@@ -17,6 +17,7 @@ class Renamer {
       it = map_.emplace(request_name,
                         prefix_ + std::to_string(map_.size()))
                .first;
+      order_.emplace_back(it->second, request_name);
     }
     return it->second;
   }
@@ -29,17 +30,15 @@ class Renamer {
   /// (canonical, request) pairs, in assignment order.
   void append_renames(
       std::vector<std::pair<std::string, std::string>>& out) const {
-    std::vector<std::pair<std::string, std::string>> pairs;
-    pairs.reserve(map_.size());
-    for (const auto& [request, canon] : map_) {
-      pairs.emplace_back(canon, request);
-    }
-    out.insert(out.end(), pairs.begin(), pairs.end());
+    out.insert(out.end(), order_.begin(), order_.end());
   }
 
  private:
   char prefix_;
   std::map<std::string, std::string> map_;
+  /// (canonical, request) in the order canonical names were handed out,
+  /// so append_renames honours its assignment-order contract.
+  std::vector<std::pair<std::string, std::string>> order_;
 };
 
 }  // namespace
@@ -131,6 +130,45 @@ std::string hex64(std::uint64_t value) {
   for (int i = 15; i >= 0; --i) {
     out[static_cast<std::size_t>(i)] = kHex[value & 0xF];
     value >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+bool ident_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+std::string rename_text(
+    std::string_view text,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::map<std::string_view, const std::string*> table;
+  for (const auto& [canon, request] : renames) {
+    table.emplace(canon, &request);
+  }
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!ident_char(text[i])) {
+      out += text[i];
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < text.size() && ident_char(text[j])) ++j;
+    const std::string_view token = text.substr(i, j - i);
+    const auto it = table.find(token);
+    if (it != table.end()) {
+      out += *it->second;
+    } else {
+      out += token;
+    }
+    i = j;
   }
   return out;
 }

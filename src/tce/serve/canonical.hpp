@@ -65,4 +65,14 @@ std::string rename_quoted(
     std::string_view json,
     const std::vector<std::pair<std::string, std::string>>& renames);
 
+/// Replaces every *whole* identifier token ([A-Za-z0-9_]+ runs) in the
+/// plain-text \p text that equals a canonical name in \p renames with
+/// its request name — the error-message counterpart of rename_quoted,
+/// so diagnostics produced from the canonical tree never leak i0/t0
+/// names the client did not write.  Single-pass per token, so
+/// swap-shaped tables behave correctly.
+std::string rename_text(
+    std::string_view text,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
 }  // namespace tce::serve

@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 #include <istream>
+#include <list>
+#include <memory>
 #include <ostream>
 #include <thread>
 #include <utility>
@@ -192,14 +194,20 @@ std::shared_ptr<const CharacterizedModel> Server::model_for(
     const std::string& machine_text, std::uint32_t procs,
     std::uint32_t per_node, std::string* fingerprint) {
   // The fingerprint is part of the cache key: it must pin the *curves*,
-  // so request-supplied tables hash their full text while the bundled
-  // cluster (a pure function of the grid) is named by the grid alone.
+  // so request-supplied tables carry their full text verbatim (FNV-1a
+  // is not collision-resistant, and two colliding tables must never
+  // share a resident model or a plan-cache fingerprint — this mirrors
+  // how the canonical program text is used verbatim as the cache key)
+  // while the bundled cluster, a pure function of the grid, is named by
+  // the grid alone.  The compact hex digest echoed in replies is
+  // derived from the whole cache key afterwards.
   std::string key;
   if (machine_text.empty()) {
     key = "itanium2003/" + std::to_string(procs) + "/" +
           std::to_string(per_node);
   } else {
-    key = "table/" + hex64(fnv1a64(machine_text));
+    key = "table/";
+    key += machine_text;
   }
   *fingerprint = key;
 
@@ -233,7 +241,26 @@ std::shared_ptr<const CharacterizedModel> Server::model_for(
 std::string Server::handle_plan(const PlanRequest& req) {
   const ParsedProgram program = parse_program(req.program);
   const CanonicalProblem canon = canonicalize_program(program);
+  // Errors raised past this point — InfeasibleError from the DP search,
+  // parse/validation errors from the canonical tree — may be phrased in
+  // canonical names (t0, i0) the client never wrote: translate them
+  // back into the request's vocabulary before they escape.  (The
+  // admission-control path renames its certificate via rename_back.)
+  try {
+    return plan_canonical(req, canon);
+  } catch (const VerifyCacheError&) {
+    throw;  // names only the key digest — nothing to rename
+  } catch (const InfeasibleError& e) {
+    throw InfeasibleError(rename_text(e.what(), canon.renames));
+  } catch (const Error& e) {
+    // Collapses Error subtypes, which is fine: handle() maps every
+    // subtype that can reach here to the same "input" reply code.
+    throw Error(rename_text(e.what(), canon.renames));
+  }
+}
 
+std::string Server::plan_canonical(const PlanRequest& req,
+                                   const CanonicalProblem& canon) {
   std::string fingerprint;
   const std::shared_ptr<const CharacterizedModel> model =
       model_for(req.machine, req.procs, req.per_node, &fingerprint);
@@ -576,26 +603,48 @@ int serve_unix_socket(Server& server, const std::string& path) {
   struct Conn {
     std::thread thread;
     int fd;
+    /// Set by the handler thread as its last action, so the accept loop
+    /// can join-and-close without blocking on a live connection.
+    std::shared_ptr<std::atomic<bool>> done;
   };
-  std::vector<Conn> conns;
+  std::list<Conn> conns;
+  // Join the threads of connections whose serve_loop has returned and
+  // close their fds.  Called on every accept-loop wakeup (the 200 ms
+  // poll timeout bounds staleness): scrape connections are one-shot by
+  // design, so without reaping a long-lived daemon would leak one fd
+  // plus one thread stack per scrape until accept() dies with EMFILE.
+  const auto reap = [&conns] {
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        ::close(it->fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!server.shutdown_requested()) {
     pollfd pfd{listen_fd, POLLIN, 0};
     // The poll timeout bounds how stale a shutdown can go unnoticed
     // when no new connection arrives to deliver it.
     const int r = ::poll(&pfd, 1, 200);
     if (r < 0 && errno != EINTR) break;
+    reap();
     if (r <= 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
     obs::count("serve.connections");
-    conns.push_back(Conn{std::thread([&server, fd] {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    conns.push_back(Conn{std::thread([&server, fd, done] {
                            FdStreamBuf buf(fd);
                            std::istream in(&buf);
                            std::ostream out(&buf);
                            serve_loop(server, in, out);
                            ::shutdown(fd, SHUT_RDWR);
+                           done->store(true, std::memory_order_release);
                          }),
-                         fd});
+                         fd, done});
   }
   ::close(listen_fd);
   ::unlink(path.c_str());

@@ -75,6 +75,11 @@ class Server {
 
  private:
   std::string handle_plan(const struct PlanRequest& req);
+  /// The post-canonicalization half of handle_plan: cache lookup,
+  /// admission control, search.  Errors it throws may carry canonical
+  /// names; handle_plan renames them back before they escape.
+  std::string plan_canonical(const struct PlanRequest& req,
+                             const struct CanonicalProblem& canon);
   std::shared_ptr<const CharacterizedModel> model_for(
       const std::string& machine_text, std::uint32_t procs,
       std::uint32_t per_node, std::string* fingerprint);

@@ -7,10 +7,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 
 #include "tce/common/json.hpp"
 #include "tce/costmodel/characterize.hpp"
@@ -99,6 +108,35 @@ TEST(ServeCanonical, RenameQuotedHandlesSwaps) {
       {"i0", "i1"}, {"i1", "i0"}};
   EXPECT_EQ(rename_quoted(R"(["i0","i1","i0"])", swap),
             R"(["i1","i0","i1"])");
+}
+
+TEST(ServeCanonical, RenameTextSubstitutesWholeTokensOnly) {
+  const std::vector<std::pair<std::string, std::string>> renames = {
+      {"i0", "a"}, {"t0", "Total"}};
+  // Whole identifier tokens rename; "i01" and "xt0" do not.
+  EXPECT_EQ(rename_text("intermediate 't0' uses i0, not i01 or xt0",
+                        renames),
+            "intermediate 'Total' uses a, not i01 or xt0");
+}
+
+TEST(ServeCanonical, RenameTextHandlesSwaps) {
+  const std::vector<std::pair<std::string, std::string>> swap = {
+      {"i0", "i1"}, {"i1", "i0"}};
+  EXPECT_EQ(rename_text("i0 < i1", swap), "i1 < i0");
+}
+
+TEST(ServeCanonical, RenamesAreInAssignmentOrder) {
+  // Request names chosen so lexicographic order disagrees with
+  // first-appearance order: the contract is assignment order.
+  const char* prog =
+      "index z, a, q = 8\n"
+      "C[z,a] = sum[q] B[z,q] * A[q,a]\n";
+  const CanonicalProblem canon =
+      canonicalize_program(parse_program(prog));
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"i0", "z"}, {"i1", "a"}, {"i2", "q"},
+      {"t0", "C"}, {"t1", "B"}, {"t2", "A"}};
+  EXPECT_EQ(canon.renames, expected);
 }
 
 TEST(ServeCanonical, Fnv1a64MatchesReferenceVectors) {
@@ -293,6 +331,25 @@ TEST(ServeServer, ErrorCodesAreStable) {
             "usage");
 }
 
+TEST(ServeServer, ErrorsFromTheCanonicalTreeUseRequestNames) {
+  Server server(small_options());
+  // Parses and canonicalizes fine, but T is consumed twice, so the
+  // error ("intermediate consumed 2 times") is raised only while
+  // building the *canonical* tree — it blames t0 and must come back
+  // as 'T', the name the client actually wrote.
+  const char* dag =
+      "index a, b, i = 8\n"
+      "T[a,b] = sum[i] X[a,i] * Y[i,b]\n"
+      "S[a,b] = T[a,b] * T[a,b]\n";
+  const json::Value reply = handle(server, plan_request(dag, "e"));
+  ASSERT_FALSE(reply.at("ok").boolean);
+  EXPECT_EQ(reply.at("error").at("code").string, "input");
+  const std::string msg = reply.at("error").at("message").string;
+  EXPECT_NE(msg.find("intermediate 'T' consumed"), std::string::npos)
+      << msg;
+  EXPECT_EQ(msg.find("t0"), std::string::npos) << msg;
+}
+
 TEST(ServeServer, LruEvictionForcesAReSearch) {
   ServeOptions options = small_options();
   options.cache_capacity = 1;
@@ -482,6 +539,73 @@ TEST(ServeLoop, UnknownHttpPathIs404) {
   EXPECT_EQ(serve_loop(server, in, out), 0);
   EXPECT_EQ(out.str().rfind("HTTP/1.0 404 Not Found", 0), 0u);
 }
+
+// ------------------------------------------------------------ unix socket
+
+#ifdef __linux__
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+/// Connects to \p path, writes \p payload, drains the reply until the
+/// server ends the stream, and closes the client fd.
+void one_shot(const std::string& path, const std::string& payload) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  char buf[4096];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+  ::close(fd);
+}
+
+TEST(ServeSocket, OneShotConnectionsAreReaped) {
+  // Regression: the accept loop must join finished connection threads
+  // and close their fds as it goes — Prometheus scrapes are one-shot,
+  // so a daemon that only reaps at shutdown leaks one fd per scrape
+  // until accept() dies with EMFILE.
+  Server server(small_options());
+  const std::string path = ::testing::TempDir() + "tce_serve_reap.sock";
+  std::thread daemon([&] { serve_unix_socket(server, path); });
+  // Wait for the socket file to be bound.
+  for (int i = 0; i < 500 && ::access(path.c_str(), F_OK) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::string scrape = "GET /metrics HTTP/1.0\r\n\r\n";
+  one_shot(path, scrape);  // warm any lazily opened descriptors
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const std::size_t baseline = open_fd_count();
+  ASSERT_GT(baseline, 0u);
+  constexpr int kScrapes = 32;
+  for (int i = 0; i < kScrapes; ++i) one_shot(path, scrape);
+  // Reaping rides the accept loop's poll wakeups (≤ 200 ms apart);
+  // give it a bounded moment to drain.
+  std::size_t now = open_fd_count();
+  for (int i = 0; i < 500 && now > baseline + 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    now = open_fd_count();
+  }
+  EXPECT_LE(now, baseline + 2) << "leaked ~" << (now - baseline)
+                               << " fds over " << kScrapes << " scrapes";
+  one_shot(path, "{\"op\":\"shutdown\"}\n");
+  daemon.join();
+}
+
+#endif  // __linux__
 
 }  // namespace
 }  // namespace tce::serve
