@@ -4,6 +4,7 @@
 // consumption).  The live-set model admits cheaper plans at tight
 // limits and pushes the feasibility frontier lower.
 
+#include "tce/common/checked.hpp"
 #include "tce/common/table.hpp"
 
 #include "bench_common.hpp"
@@ -63,13 +64,13 @@ int main(int argc, char** argv) {
       OptimizedPlan p = optimize(tree, model, live);
       row.push_back(fixed(p.total_comm_s, 1));
       row.push_back(fused_of(p));
-      row.push_back(format_bytes_paper(
-          p.peak_live_bytes_per_proc * p.procs_per_node));
+      const std::uint64_t peak_node_bytes =
+          checked_mul(p.peak_live_bytes_per_proc, p.procs_per_node);
+      row.push_back(format_bytes_paper(peak_node_bytes));
       fields.field("live_feasible", true)
           .field("live_comm_s", p.total_comm_s)
           .field("live_fused", fused_of(p))
-          .field("live_peak_node_bytes",
-                 p.peak_live_bytes_per_proc * p.procs_per_node);
+          .field("live_peak_node_bytes", peak_node_bytes);
     } catch (const InfeasibleError&) {
       row.push_back("-");
       row.push_back("INFEASIBLE");

@@ -1,0 +1,125 @@
+#pragma once
+/// \file check.hpp
+/// `tce-check`: project-invariant static analysis over this repository's
+/// own sources, docs, and tests.
+///
+/// The domain-level analyzers (the lint prover, the plan verifier, the
+/// comm-bound prover) certify properties of *planner problems and
+/// plans*; this module certifies properties of *the codebase itself* —
+/// the recurring meta-level bug classes the change history shows being
+/// found by hand: raw C-library number parses that silently saturate,
+/// overflow-prone raw arithmetic on byte/word/extent quantities,
+/// unannotated mutexes invisible to clang's thread-safety analysis,
+/// headers that only compile because of include order, and
+/// hand-maintained identifier registries (lint/verifier rule ids, exit
+/// codes, metric names, schema strings) drifting apart between `src/`,
+/// `docs/` and `tests/`.
+///
+/// Rule identifiers (stable, `check.<family>.<rule>`; used by tests,
+/// CI, and suppression comments — append-only):
+///
+///   check.ban.strtol            strtol/strtoul/strtoll/strtoull called
+///                               (end-pointer-less, overflow-clamping);
+///                               use tce::parse_u64 (tce/common/parse.hpp)
+///   check.ban.atoi              atoi/atol/atoll/atof called (no error
+///                               reporting at all); use tce::parse_u64
+///   check.ban.sprintf           sprintf/vsprintf called (unbounded
+///                               write); use std::snprintf
+///   check.ban.raw-new           raw `new` expression; use
+///                               std::make_unique or a container
+///   check.arith.unchecked-mul   raw `*` between identifiers named like
+///                               byte/word/extent quantities outside a
+///                               checked_mul/saturating_mul call; route
+///                               through tce/common/checked.hpp
+///   check.arith.unchecked-add   raw `+` likewise; use checked_add
+///   check.lock.raw-mutex        std::mutex spelled outside
+///                               tce/common/annotations.hpp — the
+///                               thread-safety analysis cannot see
+///                               through it; use tce::Mutex/MutexLock
+///   check.lock.unguarded        a class declares a Mutex member but
+///                               annotates no member TCE_GUARDED_BY it
+///   check.registry.undocumented an identifier defined in code is
+///                               missing from its docs table
+///   check.registry.unknown-doc  a docs table lists an identifier the
+///                               code does not define (stale or typo'd
+///                               entry — the FNV offset-basis class)
+///   check.registry.duplicate    an identifier appears twice in its
+///                               docs table (or two exit-code
+///                               enumerators share a value)
+///   check.registry.untested     a rule id / exit-code enumerator is
+///                               referenced by no test under tests/
+///   check.include.standalone    a public header does not compile as
+///                               its own translation unit
+///                               (`$CXX -std=c++20 -fsyntax-only -Isrc`)
+///
+/// Suppression: a finding is suppressed by a comment on the same line
+/// or the line directly above it, of the form
+///
+///   // tce-check: allow(check.ban.strtol): <rationale>
+///
+/// The rule id must match exactly; the rationale is free text (please
+/// write one).  Suppressed findings are counted but do not fail the
+/// run.  Output is deterministic: files are scanned in sorted path
+/// order and findings are sorted by (file, line, rule, message), so two
+/// runs over the same tree are byte-identical.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tce::check {
+
+enum class Severity {
+  kError,
+  kWarning,
+};
+
+/// One analyzer finding, anchored to a file and line of the repo.
+struct Finding {
+  Severity severity = Severity::kError;
+  std::string file;     ///< Root-relative path, '/'-separated.
+  int line = 0;         ///< 1-based; 0 = file-level finding.
+  std::string rule;     ///< Stable rule id (see file comment).
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Analyzer configuration.  The defaults describe this repository; the
+/// fixture tests point \p root at synthetic trees with the same layout.
+struct CheckConfig {
+  /// Repository root (the directory holding src/, docs/, tests/).
+  std::string root = ".";
+  /// Run the include-hygiene rule (compiles every src/**/*.hpp
+  /// standalone — slower, needs a compiler on PATH).
+  bool include_hygiene = false;
+  /// Compiler driver for the include-hygiene rule.
+  std::string cxx = "c++";
+};
+
+/// The analyzer's verdict.
+struct CheckReport {
+  /// All unsuppressed findings, sorted by (file, line, rule, message).
+  std::vector<Finding> findings;
+  std::uint64_t files_scanned = 0;  ///< Source files lexed.
+  std::uint64_t docs_scanned = 0;   ///< Markdown docs parsed.
+  std::uint64_t suppressed = 0;     ///< Findings dropped by allow().
+  std::uint64_t rules_checked = 0;  ///< Rule evaluations performed.
+
+  /// True when no error-severity finding survived suppression.
+  bool ok() const {
+    for (const Finding& f : findings) {
+      if (f.severity == Severity::kError) return false;
+    }
+    return true;
+  }
+  /// One line per finding ("error src/x.cpp:12 rule=check.ban.atoi:
+  /// ...") plus a summary line.  Deterministic.
+  std::string str() const;
+  /// The `tce-check/1` JSON document (docs/STATIC_ANALYSIS.md).
+  std::string json() const;
+};
+
+/// Runs every rule over the tree at \p cfg.root.  Throws tce::Error
+/// when the root does not look like a repository (no src/ directory).
+CheckReport run_checks(const CheckConfig& cfg);
+
+}  // namespace tce::check

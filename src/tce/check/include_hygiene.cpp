@@ -1,0 +1,42 @@
+/// \file include_hygiene.cpp
+/// check.include.standalone: every public header under src/ must
+/// compile as its own translation unit — the rule that replaced
+/// tools/check_headers.sh.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tce/check/internal.hpp"
+
+namespace tce::check::internal {
+
+void run_include_hygiene(const std::string& root, const std::string& cxx,
+                         std::vector<Finding>& findings,
+                         std::uint64_t& rules_checked) {
+  const std::vector<std::string> headers =
+      list_files(root, "src", {".hpp", ".h"});
+  for (const std::string& rel : headers) {
+    ++rules_checked;
+    // Same recipe the old shell script used; stdout/stderr are dropped
+    // because the finding itself carries the reproduction command.
+    const std::string cmd = cxx + " -std=c++20 -fsyntax-only -Wall -Wextra -I" +
+                            root + "/src -x c++ " + root + "/" + rel +
+                            " >/dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    if (status != 0) {
+      Finding f;
+      f.severity = Severity::kError;
+      f.file = rel;
+      f.line = 0;
+      f.rule = "check.include.standalone";
+      f.message = "header does not compile standalone; reproduce with `" +
+                  cxx + " -std=c++20 -fsyntax-only -Wall -Wextra -Isrc -x c++ " +
+                  rel + "`";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace tce::check::internal

@@ -1,0 +1,50 @@
+#pragma once
+/// \file internal.hpp
+/// Shared plumbing between tce-check's rule passes (not installed API).
+
+#include <string>
+#include <vector>
+
+#include "tce/check/check.hpp"
+#include "tce/check/lexer.hpp"
+
+namespace tce::check::internal {
+
+/// The lexed source tree plus the raw doc texts, loaded once.
+struct Tree {
+  std::string root;
+  std::vector<SourceFile> sources;  ///< Sorted by path.
+  /// Raw text per root-relative path for docs and tests (tests are kept
+  /// as raw text — reference checks are substring searches, and fixture
+  /// snippets inside test literals *should* count as references).
+  std::vector<std::pair<std::string, std::string>> docs;   ///< Sorted.
+  std::vector<std::pair<std::string, std::string>> tests;  ///< Sorted.
+};
+
+/// Reads a whole file; returns false when unreadable.
+bool read_file(const std::string& path, std::string& out);
+
+/// Recursively lists files under root/dir whose name matches one of
+/// \p exts, as sorted root-relative '/'-paths.  Missing dirs are fine.
+std::vector<std::string> list_files(const std::string& root,
+                                    const std::string& dir,
+                                    const std::vector<std::string>& exts);
+
+/// Loads and lexes the tree (sources from src/tools/bench/examples,
+/// docs/*.md + README.md, tests/*.cpp).
+Tree load_tree(const std::string& root);
+
+/// Banned-primitive, unchecked-arithmetic and lock-annotation rules.
+void run_source_rules(const Tree& tree, std::vector<Finding>& findings,
+                      std::uint64_t& rules_checked);
+
+/// Registry-drift rules (rule ids, exit codes, metrics, schemas).
+void run_registry_rules(const Tree& tree, std::vector<Finding>& findings,
+                        std::uint64_t& rules_checked);
+
+/// Include-hygiene rule: every src/**/*.hpp compiles standalone.
+void run_include_hygiene(const std::string& root, const std::string& cxx,
+                         std::vector<Finding>& findings,
+                         std::uint64_t& rules_checked);
+
+}  // namespace tce::check::internal

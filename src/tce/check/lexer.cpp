@@ -1,0 +1,234 @@
+#include "tce/check/lexer.hpp"
+
+namespace tce::check {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Scans a comment body for `tce-check: allow(<rule>)` directives and
+/// records them against \p line.
+void collect_allows(SourceFile& out, std::string_view body, int line) {
+  static constexpr std::string_view kMarker = "tce-check: allow(";
+  std::size_t pos = 0;
+  while ((pos = body.find(kMarker, pos)) != std::string_view::npos) {
+    pos += kMarker.size();
+    const std::size_t close = body.find(')', pos);
+    if (close == std::string_view::npos) break;
+    out.allows[line].push_back(std::string(body.substr(pos, close - pos)));
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+SourceFile lex_cpp(std::string path, std::string_view text) {
+  SourceFile out;
+  out.path = std::move(path);
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  int line = 1;
+  bool at_line_start = true;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (text[i] == '\n') ++line;
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t eol = text.find('\n', i);
+      const std::size_t end = (eol == std::string_view::npos) ? n : eol;
+      collect_allows(out, text.substr(i, end - i), line);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t close = text.find("*/", i + 2);
+      const std::size_t end = (close == std::string_view::npos) ? n : close + 2;
+      collect_allows(out, text.substr(i, end - i), start_line);
+      advance(end - i);
+      continue;
+    }
+    // Preprocessor directive: swallow the whole (continued) line so
+    // include paths and macro bodies don't leak into the token stream.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::size_t end = i;
+      while (end < n) {
+        const std::size_t eol = text.find('\n', end);
+        if (eol == std::string_view::npos) {
+          end = n;
+          break;
+        }
+        // Backslash-continued directive lines stay one directive.
+        std::size_t back = eol;
+        while (back > end && (text[back - 1] == '\r')) --back;
+        if (back > end && text[back - 1] == '\\') {
+          end = eol + 1;
+          continue;
+        }
+        end = eol;
+        break;
+      }
+      Token t;
+      t.kind = Tok::kDirective;
+      t.text = std::string(text.substr(i, end - i));
+      t.line = start_line;
+      out.tokens.push_back(std::move(t));
+      advance(end - i);
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      const int start_line = line;
+      std::size_t d = i + 2;
+      while (d < n && text[d] != '(' && text[d] != '"' && d - i < 20) ++d;
+      if (d < n && text[d] == '(') {
+        const std::string delim(text.substr(i + 2, d - (i + 2)));
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = text.find(closer, d + 1);
+        const std::size_t body_end =
+            (close == std::string_view::npos) ? n : close;
+        Token t;
+        t.kind = Tok::kString;
+        t.text = std::string(text.substr(d + 1, body_end - (d + 1)));
+        t.line = start_line;
+        out.tokens.push_back(std::move(t));
+        advance(((close == std::string_view::npos) ? n : close + closer.size()) -
+                i);
+        continue;
+      }
+    }
+    // String / char literal (prefixes like u8"" arrive as an ident
+    // token followed by the literal, which is fine for our rules).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') break;  // unterminated; close at EOL
+        body += text[j];
+        ++j;
+      }
+      Token t;
+      t.kind = (quote == '"') ? Tok::kString : Tok::kChar;
+      t.text = std::move(body);
+      t.line = start_line;
+      out.tokens.push_back(std::move(t));
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(text[j])) ++j;
+      Token t;
+      t.kind = Tok::kIdent;
+      t.text = std::string(text.substr(i, j - i));
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Number (loose pp-number: digits plus embedded idents/dots/quotes).
+    if (digit(c) || (c == '.' && i + 1 < n && digit(text[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.text = std::string(text.substr(i, j - i));
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Punctuation, one character at a time (the rules match single
+    // characters like '*', '+', '(', '{' — multi-char operators such as
+    // `+=` appear as two tokens, which the rules account for).
+    Token t;
+    t.kind = Tok::kPunct;
+    t.text = std::string(1, c);
+    t.line = line;
+    out.tokens.push_back(std::move(t));
+    ++i;
+  }
+  return out;
+}
+
+bool is_dotted_id(std::string_view s) {
+  if (s.empty()) return false;
+  bool saw_dot = false;
+  bool segment_start = true;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const char c = s[k];
+    if (segment_start) {
+      if (!(c >= 'a' && c <= 'z')) return false;
+      segment_start = false;
+      continue;
+    }
+    if (c == '.') {
+      saw_dot = true;
+      segment_start = true;
+      // A trailing dot (prefix literals like "verify.rule.") leaves an
+      // empty final segment, which the check above would miss.
+      if (k + 1 == s.size()) return false;
+      continue;
+    }
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+          c == '-')) {
+      return false;
+    }
+  }
+  return saw_dot;
+}
+
+std::vector<std::pair<std::string, int>> dotted_literals(
+    const SourceFile& file) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Token& t : file.tokens) {
+    if (t.kind == Tok::kString && is_dotted_id(t.text)) {
+      out.emplace_back(t.text, t.line);
+    }
+  }
+  return out;
+}
+
+}  // namespace tce::check

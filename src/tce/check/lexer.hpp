@@ -1,0 +1,62 @@
+#pragma once
+/// \file lexer.hpp
+/// A minimal C++ token scanner for tce-check's source rules.
+///
+/// This is not a compiler front end: it only separates the things the
+/// rules must never confuse — comments, string/character literals
+/// (including raw strings), preprocessor directives, identifiers,
+/// numbers and punctuation — and records line numbers.  Test fixtures
+/// quote banned tokens inside string literals all the time, so getting
+/// the literal/comment boundary right is the load-bearing part; the
+/// rules themselves then run over the clean token stream.
+///
+/// Comments are not discarded silently: `tce-check: allow(<rule>)`
+/// suppression directives are collected per line so run_checks can
+/// drop findings the code explicitly vouches for.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tce::check {
+
+enum class Tok {
+  kIdent,      ///< Identifier or keyword.
+  kNumber,     ///< Numeric literal (pp-number, loosely).
+  kString,     ///< String literal (text excludes quotes/prefixes).
+  kChar,       ///< Character literal.
+  kPunct,      ///< One punctuation character.
+  kDirective,  ///< A whole preprocessor line (text after '#').
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character.
+};
+
+/// One lexed source file.
+struct SourceFile {
+  std::string path;  ///< Root-relative path.
+  std::vector<Token> tokens;
+  /// Rules allowed per line: a directive comment on line L suppresses
+  /// matching findings on L (trailing comment) and L+1 (line above).
+  std::map<int, std::vector<std::string>> allows;
+};
+
+/// Lexes \p text.  Never fails: unterminated constructs are closed at
+/// end of file (the rules degrade gracefully on malformed input).
+SourceFile lex_cpp(std::string path, std::string_view text);
+
+/// True when \p s entirely matches the dotted-identifier pattern
+/// `[a-z][a-z0-9_-]*(.[a-z][a-z0-9_-]*)+` (at least two segments, no
+/// trailing dot — prefix literals like "verify.rule." do not match).
+bool is_dotted_id(std::string_view s);
+
+/// All string-literal tokens of \p file satisfying is_dotted_id, as
+/// (text, line) pairs — the raw material for registry extraction.
+std::vector<std::pair<std::string, int>> dotted_literals(
+    const SourceFile& file);
+
+}  // namespace tce::check

@@ -1,0 +1,293 @@
+/// \file source_rules.cpp
+/// Token-level rules: banned primitives, unchecked byte/word/extent
+/// arithmetic, and lock-annotation hygiene.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tce/check/internal.hpp"
+
+namespace tce::check::internal {
+
+namespace {
+
+bool in_set(std::string_view needle, const std::vector<std::string_view>& set) {
+  for (std::string_view s : set) {
+    if (s == needle) return true;
+  }
+  return false;
+}
+
+/// snake_case value names: lowercase letters, digits, underscores, with
+/// at least one letter.  Type names in this codebase are CamelCase (or
+/// *_t aliases, which the type-keyword list below covers), so this is
+/// how the arith rule tells `a * b` from a `T* ptr` declaration.
+bool is_snake(std::string_view s) {
+  bool letter = false;
+  for (char c : s) {
+    if (c >= 'a' && c <= 'z') {
+      letter = true;
+    } else if (!((c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return letter;
+}
+
+bool contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+/// An identifier that names a byte/word/extent quantity.
+bool sized_name(std::string_view name) {
+  return is_snake(name) && (contains(name, "bytes") || contains(name, "words") ||
+                            contains(name, "extent"));
+}
+
+const std::vector<std::string_view> kStrtolFamily = {
+    "strtol", "strtoul", "strtoll", "strtoull", "wcstol", "wcstoul"};
+const std::vector<std::string_view> kAtoiFamily = {"atoi", "atol", "atoll",
+                                                   "atof"};
+const std::vector<std::string_view> kSprintfFamily = {"sprintf", "vsprintf"};
+
+/// Calls whose parenthesized arguments are exempt from the arith rules.
+const std::vector<std::string_view> kCheckedFns = {
+    "checked_mul",    "checked_add",    "checked_sub",
+    "saturating_mul", "saturating_add", "saturating_sub"};
+
+/// Built-in / alias type names that can precede `*` in a declaration.
+const std::vector<std::string_view> kTypeWords = {
+    "auto",     "bool",     "char",    "const",    "constexpr", "double",
+    "float",    "int",      "long",    "short",    "signed",    "size_t",
+    "unsigned", "void",     "wchar_t", "int8_t",   "int16_t",   "int32_t",
+    "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "uintptr_t",
+    "intptr_t", "ptrdiff_t"};
+
+/// Files exempt from the banned-primitive parse rules: the checked
+/// parser itself is where a raw parse would be implemented if we ever
+/// needed one.
+const std::vector<std::string_view> kParseAllowlist = {
+    "src/tce/common/parse.cpp", "src/tce/common/parse.hpp"};
+
+/// The annotated wrappers are the one place std::mutex may be spelled.
+const std::vector<std::string_view> kLockAllowlist = {
+    "src/tce/common/annotations.hpp"};
+
+/// Raw synchronization identifiers that defeat clang's thread-safety
+/// analysis when used directly (matched as `std::<name>`).
+const std::vector<std::string_view> kRawSync = {
+    "mutex",       "recursive_mutex",        "timed_mutex",
+    "shared_mutex", "lock_guard",            "unique_lock",
+    "scoped_lock", "condition_variable",     "condition_variable_any"};
+
+void add(std::vector<Finding>& findings, const SourceFile& f, int line,
+         std::string rule, std::string message) {
+  Finding out;
+  out.severity = Severity::kError;
+  out.file = f.path;
+  out.line = line;
+  out.rule = std::move(rule);
+  out.message = std::move(message);
+  findings.push_back(std::move(out));
+}
+
+bool is_punct(const Token& t, char c) {
+  return t.kind == Tok::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+/// Banned-primitive rules over one file's identifier stream.
+void ban_rules(const SourceFile& f, std::vector<Finding>& findings) {
+  const bool parse_ok = in_set(f.path, kParseAllowlist);
+  const bool lock_ok = in_set(f.path, kLockAllowlist);
+  const std::vector<Token>& ts = f.tokens;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != Tok::kIdent) continue;
+    const std::string& id = ts[i].text;
+    const bool after_operator =
+        i > 0 && ts[i - 1].kind == Tok::kIdent && ts[i - 1].text == "operator";
+    if (!parse_ok && in_set(id, kStrtolFamily)) {
+      add(findings, f, ts[i].line, "check.ban.strtol",
+          id + " clamps on overflow with errno the only witness; use "
+               "tce::parse_u64 (tce/common/parse.hpp)");
+    } else if (!parse_ok && in_set(id, kAtoiFamily)) {
+      add(findings, f, ts[i].line, "check.ban.atoi",
+          id + " reports no errors at all; use tce::parse_u64 "
+               "(tce/common/parse.hpp)");
+    } else if (in_set(id, kSprintfFamily)) {
+      add(findings, f, ts[i].line, "check.ban.sprintf",
+          id + " writes unbounded; use std::snprintf");
+    } else if (id == "new" && !after_operator) {
+      add(findings, f, ts[i].line, "check.ban.raw-new",
+          "raw new expression; use std::make_unique or a container");
+    } else if (!lock_ok && in_set(id, kRawSync) && i >= 3 &&
+               is_punct(ts[i - 1], ':') && is_punct(ts[i - 2], ':') &&
+               ts[i - 3].kind == Tok::kIdent && ts[i - 3].text == "std") {
+      add(findings, f, ts[i].line, "check.lock.raw-mutex",
+          "std::" + id +
+              " is invisible to the thread-safety analysis; use "
+              "tce::Mutex/MutexLock/CondVar (tce/common/annotations.hpp)");
+    }
+  }
+}
+
+/// Unchecked-arithmetic rules: a raw `*` or `+` whose operands include
+/// a byte/word/extent-named identifier, outside checked_* parentheses.
+void arith_rules(const SourceFile& f, std::vector<Finding>& findings) {
+  const std::vector<Token>& ts = f.tokens;
+  int depth = 0;
+  std::vector<int> checked_depths;  // '(' depths opened by a checked call
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (is_punct(t, '(')) {
+      if (i > 0 && ts[i - 1].kind == Tok::kIdent &&
+          in_set(ts[i - 1].text, kCheckedFns)) {
+        checked_depths.push_back(depth);
+      }
+      ++depth;
+      continue;
+    }
+    if (is_punct(t, ')')) {
+      --depth;
+      if (!checked_depths.empty() && checked_depths.back() == depth) {
+        checked_depths.pop_back();
+      }
+      continue;
+    }
+    const bool mul = is_punct(t, '*');
+    const bool plus = is_punct(t, '+');
+    if (!mul && !plus) continue;
+    if (!checked_depths.empty()) continue;  // inside checked_*(...)
+    if (i == 0 || i + 1 >= ts.size()) continue;
+    // Left operand must be a value: an identifier or a number.  This
+    // rejects unary contexts (`*p`, `a = -x + y` arrives as punct-`+`).
+    const Token& lhs = ts[i - 1];
+    if (lhs.kind != Tok::kIdent && lhs.kind != Tok::kNumber) continue;
+    // `T* ptr` declarations: a type word or CamelCase name on the left
+    // of `*` is a declarator, not a multiply.
+    if (mul && lhs.kind == Tok::kIdent &&
+        (in_set(lhs.text, kTypeWords) || !is_snake(lhs.text))) {
+      continue;
+    }
+    // `++`, `+=`, `*=`, `**` and friends are not binary arithmetic.
+    const Token& next = ts[i + 1];
+    if (next.kind == Tok::kPunct &&
+        (next.text == "+" || next.text == "*" || next.text == "=")) {
+      continue;
+    }
+    if (next.kind != Tok::kIdent && next.kind != Tok::kNumber) continue;
+    // Walk the right-hand member chain (`a.b`, `a->b`) to its final
+    // name; a chain ending in `(` is a call, which we leave alone.
+    std::size_t j = i + 1;
+    std::string rhs_name = (next.kind == Tok::kIdent) ? next.text : "";
+    while (j + 2 < ts.size()) {
+      if (is_punct(ts[j + 1], '.') && ts[j + 2].kind == Tok::kIdent) {
+        rhs_name = ts[j + 2].text;
+        j += 2;
+        continue;
+      }
+      if (j + 3 < ts.size() && is_punct(ts[j + 1], '-') &&
+          is_punct(ts[j + 2], '>') && ts[j + 3].kind == Tok::kIdent) {
+        rhs_name = ts[j + 3].text;
+        j += 3;
+        continue;
+      }
+      break;
+    }
+    if (j + 1 < ts.size() && is_punct(ts[j + 1], '(')) continue;
+    const std::string lhs_name = (lhs.kind == Tok::kIdent) ? lhs.text : "";
+    if (!sized_name(lhs_name) && !sized_name(rhs_name)) continue;
+    const char* rule = mul ? "check.arith.unchecked-mul"
+                           : "check.arith.unchecked-add";
+    const std::string op(1, mul ? '*' : '+');
+    const std::string culprit = sized_name(lhs_name) ? lhs_name : rhs_name;
+    add(findings, f, t.line, rule,
+        "raw `" + op + "` on size-like quantity `" + culprit +
+            "` can overflow silently; route through " +
+            (mul ? "checked_mul" : "checked_add") +
+            " (tce/common/checked.hpp)");
+  }
+}
+
+/// Lock-annotation rule: a class that declares a Mutex member must
+/// annotate at least one member TCE_GUARDED_BY it.
+void lock_rules(const SourceFile& f, std::vector<Finding>& findings) {
+  if (in_set(f.path, kLockAllowlist)) return;
+  struct ClassCtx {
+    std::string name;
+    int line = 0;
+    int body_depth = 0;
+    bool has_mutex = false;
+    int mutex_line = 0;
+    bool has_guard = false;
+  };
+  const std::vector<Token>& ts = f.tokens;
+  int depth = 0;
+  std::vector<ClassCtx> stack;
+  bool pending = false;
+  ClassCtx pend;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (t.kind == Tok::kIdent && (t.text == "struct" || t.text == "class")) {
+      const bool is_enum =
+          i > 0 && ts[i - 1].kind == Tok::kIdent && ts[i - 1].text == "enum";
+      if (!is_enum && i + 1 < ts.size() && ts[i + 1].kind == Tok::kIdent) {
+        pending = true;
+        pend = ClassCtx();
+        pend.name = ts[i + 1].text;
+        pend.line = t.line;
+      }
+      continue;
+    }
+    if (pending && is_punct(t, ';')) pending = false;  // forward decl
+    if (is_punct(t, '{')) {
+      ++depth;
+      if (pending) {
+        pend.body_depth = depth;
+        stack.push_back(pend);
+        pending = false;
+      }
+      continue;
+    }
+    if (is_punct(t, '}')) {
+      if (!stack.empty() && stack.back().body_depth == depth) {
+        const ClassCtx& c = stack.back();
+        if (c.has_mutex && !c.has_guard) {
+          add(findings, f, c.mutex_line, "check.lock.unguarded",
+              "class " + c.name +
+                  " declares a Mutex member but no member is "
+                  "TCE_GUARDED_BY it");
+        }
+        stack.pop_back();
+      }
+      --depth;
+      continue;
+    }
+    if (stack.empty() || t.kind != Tok::kIdent) continue;
+    ClassCtx& top = stack.back();
+    if (t.text == "TCE_GUARDED_BY" || t.text == "TCE_PT_GUARDED_BY") {
+      top.has_guard = true;
+    } else if ((t.text == "Mutex" || t.text == "mutex") &&
+               depth == top.body_depth && i + 2 < ts.size() &&
+               ts[i + 1].kind == Tok::kIdent && is_punct(ts[i + 2], ';')) {
+      top.has_mutex = true;
+      top.mutex_line = t.line;
+    }
+  }
+}
+
+}  // namespace
+
+void run_source_rules(const Tree& tree, std::vector<Finding>& findings,
+                      std::uint64_t& rules_checked) {
+  for (const SourceFile& f : tree.sources) {
+    ban_rules(f, findings);
+    arith_rules(f, findings);
+    lock_rules(f, findings);
+    rules_checked += 3;
+  }
+}
+
+}  // namespace tce::check::internal

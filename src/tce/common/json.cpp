@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "tce/common/error.hpp"
+#include "tce/common/parse.hpp"
 
 namespace tce::json {
 
@@ -213,8 +215,15 @@ class Reader {
     v.kind = Value::Kind::kNumber;
     v.number = std::strtod(tok.c_str(), nullptr);
     if (!floating && tok[0] != '-') {
+      // A strict overflow-checked parse: a literal beyond uint64 range
+      // is a document error, not a silent clamp to UINT64_MAX.
+      const std::optional<std::uint64_t> parsed = parse_u64(tok);
+      if (!parsed.has_value()) {
+        throw Error("JSON: integer out of range at offset " +
+                    std::to_string(start));
+      }
       v.is_integer = true;
-      v.integer = std::strtoull(tok.c_str(), nullptr, 10);
+      v.integer = *parsed;
     }
     return v;
   }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
 #include "tce/common/thread_pool.hpp"
@@ -74,8 +75,10 @@ bool dominates(const Sol& a, const Sol& b, bool liveness) {
   if (a.cost > b.cost || a.max_msg > b.max_msg) return false;
   bool strict = a.cost < b.cost || a.max_msg < b.max_msg;
   if (liveness) {
-    const std::uint64_t am = a.input_bytes + a.peak;
-    const std::uint64_t bm = b.input_bytes + b.peak;
+    // Saturating: these sums are only compared, and a clamped compare
+    // stays correct while a wrapped one inverts the dominance.
+    const std::uint64_t am = saturating_add(a.input_bytes, a.peak);
+    const std::uint64_t bm = saturating_add(b.input_bytes, b.peak);
     if (am > bm || a.working > b.working) return false;
     strict = strict || am < bm || a.working < b.working;
   } else {
@@ -1269,7 +1272,7 @@ std::uint64_t prove_or_throw(const ContractionTree& tree,
   lcfg.liveness_aware = config.liveness_aware;
   const lint::ProverResult pr = lint::prove_memory(tree, model.grid(), lcfg);
   if (pr.certificate) {
-    obs::count("optimizer.prover_infeasible");
+    obs::count("opt.prover_infeasible");
     obs::trace_instant("prover_infeasible", "optimizer");
     if (obs::log_enabled(obs::LogLevel::kError)) {
       obs::log_event(obs::LogLevel::kError, "optimizer",

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "tce/common/checked.hpp"
 #include "tce/common/error.hpp"
 #include "tce/common/json.hpp"
 #include "tce/common/strings.hpp"
@@ -114,8 +115,8 @@ std::string plan_to_json(const OptimizedPlan& plan,
   out += ",\"buffer_bytes_per_node\":" +
          std::to_string(plan.buffer_bytes_per_node());
   out += ",\"peak_live_bytes_per_node\":" +
-         std::to_string(plan.peak_live_bytes_per_proc *
-                        plan.procs_per_node);
+         std::to_string(checked_mul(plan.peak_live_bytes_per_proc,
+                                    plan.procs_per_node));
   out += std::string(",\"liveness_aware\":") +
          (plan.liveness_aware ? "true" : "false");
   out += ",\"array_bytes_per_proc\":" +

@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <vector>
 
+#include "tce/common/annotations.hpp"
 #include "tce/common/json.hpp"
 
 namespace tce::obs {
@@ -20,13 +20,15 @@ constexpr int kWallTid = 1;
 std::atomic<bool> g_enabled{false};
 
 struct Tracer {
-  std::mutex mu;
-  std::vector<std::string> events;
-  std::string path;
-  std::chrono::steady_clock::time_point start;
-  double sim_cursor_s = 0;
+  Mutex mu;
+  std::vector<std::string> events TCE_GUARDED_BY(mu);
+  std::string path TCE_GUARDED_BY(mu);
+  std::chrono::steady_clock::time_point start TCE_GUARDED_BY(mu);
+  double sim_cursor_s TCE_GUARDED_BY(mu) = 0;
 
-  void push(std::string event) { events.push_back(std::move(event)); }
+  void push(std::string event) TCE_REQUIRES(mu) {
+    events.push_back(std::move(event));
+  }
 };
 
 Tracer& tracer() {
@@ -34,7 +36,7 @@ Tracer& tracer() {
   return t;
 }
 
-std::uint64_t wall_us_locked(const Tracer& t) {
+std::uint64_t wall_us_locked(const Tracer& t) TCE_REQUIRES(t.mu) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t.start)
@@ -63,7 +65,8 @@ std::string render(std::string_view name, std::string_view cat,
   return ev.str();
 }
 
-void push_metadata(Tracer& t, int pid, const char* process_name) {
+void push_metadata(Tracer& t, int pid, const char* process_name)
+    TCE_REQUIRES(t.mu) {
   t.push(json::ObjectWriter()
              .field("name", "process_name")
              .field("ph", "M")
@@ -97,7 +100,7 @@ bool trace_enabled() noexcept {
 
 void trace_start(const std::string& path) {
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.events.clear();
   t.path = path;
   t.start = std::chrono::steady_clock::now();
@@ -111,7 +114,7 @@ void trace_stop() {
   if (!trace_enabled()) return;
   const std::string doc = trace_json();
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   g_enabled.store(false, std::memory_order_relaxed);
   if (!t.path.empty()) {
     std::ofstream out(t.path);
@@ -122,7 +125,7 @@ void trace_stop() {
 
 std::string trace_json() {
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   json::ArrayWriter events;
   for (const std::string& e : t.events) events.element(e);
   return json::ObjectWriter()
@@ -134,7 +137,7 @@ std::string trace_json() {
 std::uint64_t trace_now_us() noexcept {
   if (!trace_enabled()) return 0;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   return wall_us_locked(t);
 }
 
@@ -142,7 +145,7 @@ void trace_begin(std::string_view name, std::string_view cat,
                  const std::string& args_json) {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.push(render(name, cat, "B", std::to_string(wall_us_locked(t)),
                 kWallPid, kWallTid, args_json));
 }
@@ -150,7 +153,7 @@ void trace_begin(std::string_view name, std::string_view cat,
 void trace_end() {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.push(render({}, {}, "E", std::to_string(wall_us_locked(t)), kWallPid,
                 kWallTid, std::string()));
 }
@@ -160,7 +163,7 @@ void trace_complete(std::string_view name, std::string_view cat,
                     const std::string& args_json) {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.push(render(name, cat, "X", std::to_string(ts_us), kWallPid,
                 kWallTid, args_json, dur_us, /*has_dur=*/true));
 }
@@ -169,7 +172,7 @@ void trace_instant(std::string_view name, std::string_view cat,
                    const std::string& args_json) {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.push(render(name, cat, "i", std::to_string(wall_us_locked(t)),
                 kWallPid, kWallTid, args_json));
 }
@@ -177,14 +180,14 @@ void trace_instant(std::string_view name, std::string_view cat,
 double sim_now_s() noexcept {
   if (!trace_enabled()) return 0;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   return t.sim_cursor_s;
 }
 
 void sim_advance(double s) noexcept {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.sim_cursor_s += s;
 }
 
@@ -193,7 +196,7 @@ void trace_sim_complete(std::string_view name, std::string_view cat,
                         const std::string& args_json) {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.push(render(name, cat, "X", sim_ts(start_s), kSimPid, tid,
                 args_json, 0, /*has_dur=*/true, sim_ts(dur_s)));
 }
@@ -203,7 +206,7 @@ void trace_sim_instant(std::string_view name, std::string_view cat,
                        const std::string& args_json) {
   if (!trace_enabled()) return;
   Tracer& t = tracer();
-  std::lock_guard<std::mutex> lock(t.mu);
+  MutexLock lock(t.mu);
   t.push(render(name, cat, "i", sim_ts(at_s), kSimPid, tid, args_json));
 }
 

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "tce/common/annotations.hpp"
 #include "tce/common/checked.hpp"
 #include "tce/common/parse.hpp"
 #include "tce/common/thread_pool.hpp"
@@ -71,8 +71,9 @@ KernelConfig config_from_env() {
 /// The process-wide config.  Guarded by a mutex only for the rare
 /// writes (CLI/tests); GEMM entry points read it once on the calling
 /// thread and pass values down, so pool workers never touch it.
-std::mutex g_config_mutex;
-std::optional<KernelConfig> g_config;  // NOLINT(cert-err58-cpp)
+Mutex g_config_mutex;
+std::optional<KernelConfig> g_config TCE_GUARDED_BY(
+    g_config_mutex);  // NOLINT(cert-err58-cpp)
 
 // ---------------------------------------------------------------------
 // Microkernel: C (MR×NR, row stride ldc) += Ap · Bp over kc steps,
@@ -252,18 +253,18 @@ KernelKind parse_kernel_kind(const std::string& name) {
 }
 
 const KernelConfig& kernel_config() {
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   if (!g_config.has_value()) g_config = config_from_env();
   return *g_config;
 }
 
 void set_kernel_config(const KernelConfig& cfg) {
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   g_config = cfg;
 }
 
 void reset_kernel_config_from_env() {
-  std::lock_guard<std::mutex> lock(g_config_mutex);
+  MutexLock lock(g_config_mutex);
   g_config.reset();
 }
 

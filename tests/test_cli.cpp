@@ -132,27 +132,41 @@ TEST(Cli, PlanInfeasibleReturnsCode2) {
   TempFile f("cli_small3.tce", kSmallProgram);
   CliResult r = run_cli(
       {"plan", f.path(), "--procs", "4", "--mem-limit", "1KB"});
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, kExitInfeasible);
   EXPECT_NE(r.error.find("infeasible"), std::string::npos);
 }
 
 TEST(Cli, PlanRejectsUnknownFlag) {
   TempFile f("cli_small4.tce", kSmallProgram);
   CliResult r = run_cli({"plan", f.path(), "--bogus"});
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, kExitUsage);
   EXPECT_NE(r.error.find("unexpected argument"), std::string::npos);
 }
 
 TEST(Cli, PlanMissingFileIsAnIoError) {
   CliResult r = run_cli({"plan", "/nonexistent/x.tce"});
-  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(r.exit_code, kExitIo);
   EXPECT_NE(r.error.find("cannot open"), std::string::npos);
 }
 
 TEST(Cli, MalformedProgramIsAnInputError) {
   TempFile f("cli_garbage.tce", "index a = ; nonsense [[");
   CliResult r = run_cli({"plan", f.path()});
-  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_EQ(r.exit_code, kExitInput);
+}
+
+TEST(Cli, ExitCodeValuesArePinned) {
+  // docs/FORMATS.md documents the numeric values; the enum is
+  // append-only, so these must never move.
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitUsage, 1);
+  EXPECT_EQ(kExitInfeasible, 2);
+  EXPECT_EQ(kExitIo, 3);
+  EXPECT_EQ(kExitInput, 4);
+  EXPECT_EQ(kExitVerify, 5);
+  EXPECT_EQ(kExitFuzz, 6);
+  EXPECT_EQ(kExitInternal, 7);
+  EXPECT_EQ(kExitLint, 8);
 }
 
 TEST(Cli, OpminBinarizes) {

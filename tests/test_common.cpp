@@ -194,6 +194,19 @@ TEST(Json, LoneOrMalformedSurrogatesAreRejected) {
   EXPECT_THROW(json::parse(R"("\u12")"), Error);          // truncated
 }
 
+TEST(Json, OversizedIntegerLiteralIsRejectedNotClamped) {
+  // Regression: the integer branch used to re-parse the token with raw
+  // strtoull, which clamps to UINT64_MAX on overflow with errno the
+  // only witness.  A 21-digit literal must be a parse error, never a
+  // silently clamped value.
+  EXPECT_THROW(json::parse("123456789012345678901"), Error);
+  EXPECT_THROW(json::parse("{\"bytes\": 999999999999999999999}"), Error);
+  // The largest representable value still parses exactly.
+  const json::Value v = json::parse("18446744073709551615");
+  EXPECT_TRUE(v.is_integer);
+  EXPECT_EQ(v.integer, 18446744073709551615ULL);
+}
+
 TEST(Json, ControlCharactersEscapeOnWriteAndRoundTrip) {
   // Raw control characters are illegal inside JSON strings; quote()
   // must emit escapes for all of 0x00..0x1F and the parser must map

@@ -1,0 +1,87 @@
+/// \file tce-check.cpp
+/// CLI driver for the project-invariant static analyzer
+/// (docs/STATIC_ANALYSIS.md).
+///
+/// Exit codes: 0 = clean, 1 = unsuppressed error-severity findings,
+/// 2 = usage error, 3 = internal error (unreadable tree, bad root).
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "tce/check/check.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: tce-check [options]
+
+Project-invariant static analysis over this repository's sources, docs
+and tests (docs/STATIC_ANALYSIS.md).  Prints findings to stdout and
+exits 1 when any unsuppressed error-severity finding remains.
+
+options:
+  --root DIR         repository root to analyze (default: .)
+  --json             emit the tce-check/1 JSON document instead of text
+  --include-hygiene  also compile every src/**/*.hpp standalone
+                     (check.include.standalone; needs a compiler)
+  --cxx DRIVER       compiler driver for --include-hygiene (default: c++,
+                     or the CXX environment variable when set)
+  --list-rules       print the rule catalog and exit
+  -h, --help         this message
+)";
+
+constexpr const char* kRules =
+    R"(check.ban.strtol            strtol/strtoul/strtoll/strtoull called
+check.ban.atoi              atoi/atol/atoll/atof called
+check.ban.sprintf           sprintf/vsprintf called
+check.ban.raw-new           raw new expression
+check.arith.unchecked-mul   raw * on byte/word/extent-named identifiers
+check.arith.unchecked-add   raw + on byte/word/extent-named identifiers
+check.lock.raw-mutex        std::mutex family outside tce/common/annotations.hpp
+check.lock.unguarded        Mutex member with no TCE_GUARDED_BY member
+check.registry.undocumented identifier defined in code, absent from docs table
+check.registry.unknown-doc  docs table lists identifier the code lacks
+check.registry.duplicate    identifier listed twice / exit values collide
+check.registry.untested     identifier referenced by no test
+check.include.standalone    header fails to compile as its own TU
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tce::check::CheckConfig cfg;
+  if (const char* env_cxx = std::getenv("CXX")) cfg.cxx = env_cxx;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--include-hygiene") {
+      cfg.include_hygiene = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      cfg.root = argv[++i];
+    } else if (arg == "--cxx" && i + 1 < argc) {
+      cfg.cxx = argv[++i];
+    } else if (arg == "--list-rules") {
+      std::fputs(kRules, stdout);
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "tce-check: unknown argument '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  try {
+    const tce::check::CheckReport rep = tce::check::run_checks(cfg);
+    const std::string out = json ? rep.json() : rep.str();
+    std::fputs(out.c_str(), stdout);
+    return rep.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tce-check: %s\n", e.what());
+    return 3;
+  }
+}
